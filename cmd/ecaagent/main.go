@@ -1,0 +1,87 @@
+// Command ecaagent runs the ECA Agent mediator of the paper: it connects
+// to a running sqlserverd, restores any persisted ECA rules, and serves
+// clients on its gateway address with full transparency — clients use the
+// same protocol, and the same client library, as against the server
+// itself.
+//
+// Usage:
+//
+//	ecaagent -server 127.0.0.1:5000 [-listen 127.0.0.1:6000]
+//	         [-notify 127.0.0.1:0] [-admin dbo]
+//	         [-site name -ged host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/activedb/ecaagent/internal/agent"
+	"github.com/activedb/ecaagent/internal/ged"
+	"github.com/activedb/ecaagent/internal/led"
+)
+
+func main() {
+	serverAddr := flag.String("server", "127.0.0.1:5000", "address of the SQL server")
+	listen := flag.String("listen", "127.0.0.1:6000", "gateway address clients connect to")
+	notify := flag.String("notify", "127.0.0.1:0", "UDP address for trigger notifications")
+	admin := flag.String("admin", "dbo", "privileged login for the persistent manager")
+	site := flag.String("site", "", "site name for global event forwarding")
+	gedAddr := flag.String("ged", "", "address of a global event detector to forward to")
+	flag.Parse()
+
+	cfg := agent.Config{
+		Dial:       agent.TCPDialer(*serverAddr),
+		AdminUser:  *admin,
+		NotifyAddr: *notify,
+	}
+	if *gedAddr != "" {
+		if *site == "" {
+			log.Fatal("ecaagent: -ged requires -site")
+		}
+		fwd, err := ged.Forwarder(*site, *gedAddr)
+		if err != nil {
+			log.Fatalf("ecaagent: %v", err)
+		}
+		cfg.Forward = func(p led.Primitive) {
+			if err := fwd(p); err != nil {
+				log.Printf("ecaagent: forwarding to GED: %v", err)
+			}
+		}
+	}
+
+	a, err := agent.New(cfg)
+	if err != nil {
+		log.Fatalf("ecaagent: %v", err)
+	}
+	defer a.Close()
+	if err := a.ListenGateway(*listen); err != nil {
+		log.Fatalf("ecaagent: %v", err)
+	}
+	host, port := a.NotifyEndpoint()
+	fmt.Printf("ecaagent: gateway %s, server %s, notifications %s:%d\n",
+		a.GatewayAddr(), *serverAddr, host, port)
+	if events := a.Events(); len(events) > 0 {
+		fmt.Printf("ecaagent: restored %d events, %d triggers\n", len(events), len(a.Triggers()))
+	}
+
+	// Drain action reports to the log so operators can see rules firing.
+	go func() {
+		for res := range a.ActionDone {
+			if res.Err != nil {
+				log.Printf("ecaagent: rule %s on %s FAILED: %v", res.Rule, res.Event, res.Err)
+				continue
+			}
+			log.Printf("ecaagent: rule %s fired on %s (%d constituents)",
+				res.Rule, res.Event, len(res.Occ.Constituents))
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("ecaagent: shutting down")
+}

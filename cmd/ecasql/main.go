@@ -1,0 +1,102 @@
+// Command ecasql is an isql-like interactive client. It connects to either
+// the SQL server or — identically — the ECA agent's gateway, demonstrating
+// the transparency property of Figure 1. Statements accumulate until a
+// line containing only "go", which sends the batch.
+//
+// Usage:
+//
+//	ecasql -addr 127.0.0.1:6000 [-user sharma] [-db sentineldb] [-cmd "select 1"]
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/activedb/ecaagent/internal/client"
+	"github.com/activedb/ecaagent/internal/sqltypes"
+	"github.com/activedb/ecaagent/internal/tds"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6000", "server or agent gateway address")
+	user := flag.String("user", "dbo", "login name")
+	db := flag.String("db", "", "initial database")
+	cmd := flag.String("cmd", "", "run one script and exit (GO-separated batches)")
+	flag.Parse()
+
+	c, err := client.Connect(*addr, client.Options{User: *user, Database: *db})
+	if err != nil {
+		log.Fatalf("ecasql: %v", err)
+	}
+	defer c.Close()
+
+	if *cmd != "" {
+		run(c, *cmd)
+		return
+	}
+
+	fmt.Printf("ecasql: connected to %s as %s (end batches with 'go', quit with 'exit')\n", *addr, *user)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var batch strings.Builder
+	prompt := func() {
+		if batch.Len() == 0 {
+			fmt.Print("1> ")
+		} else {
+			fmt.Printf("%d> ", strings.Count(batch.String(), "\n")+2)
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(strings.ToLower(line))
+		switch trimmed {
+		case "exit", "quit":
+			return
+		case "go":
+			run(c, batch.String())
+			batch.Reset()
+		case "reset":
+			batch.Reset()
+		default:
+			batch.WriteString(line)
+			batch.WriteByte('\n')
+		}
+		prompt()
+	}
+}
+
+func run(c *client.Conn, sql string) {
+	if strings.TrimSpace(sql) == "" {
+		return
+	}
+	results, err := c.Exec(sql)
+	for _, rs := range results {
+		printResult(rs)
+	}
+	if err != nil {
+		var se *tds.ServerError
+		if errors.As(err, &se) {
+			fmt.Printf("Msg: %s\n", se.Msg)
+		} else {
+			log.Fatalf("ecasql: connection error: %v", err)
+		}
+	}
+}
+
+func printResult(rs *sqltypes.ResultSet) {
+	if rs.Schema != nil {
+		fmt.Print(rs.Format())
+		fmt.Printf("(%d rows affected)\n", len(rs.Rows))
+	} else if rs.RowsAffected > 0 {
+		fmt.Printf("(%d rows affected)\n", rs.RowsAffected)
+	}
+	for _, m := range rs.Messages {
+		fmt.Println(m)
+	}
+}

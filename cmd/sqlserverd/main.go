@@ -1,0 +1,87 @@
+// Command sqlserverd runs the SQL server substrate: a standalone TCP
+// server speaking the tds wire protocol, with optional snapshot
+// persistence. It plays the role of the Sybase SQL Server in the paper's
+// deployment (Figure 1).
+//
+// Usage:
+//
+//	sqlserverd [-addr 127.0.0.1:5000] [-snapshot path] [-checkpoint 30s] [-init script.sql]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/catalog"
+	"github.com/activedb/ecaagent/internal/engine"
+	"github.com/activedb/ecaagent/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5000", "TCP address to listen on")
+	snapshot := flag.String("snapshot", "", "snapshot file for durability (loaded at start if present)")
+	checkpoint := flag.Duration("checkpoint", 30*time.Second, "snapshot interval (0 disables periodic checkpoints)")
+	initScript := flag.String("init", "", "SQL script to execute at startup (GO-separated batches)")
+	flag.Parse()
+
+	cat := catalog.New()
+	if *snapshot != "" {
+		if loaded, err := catalog.LoadFile(*snapshot); err == nil {
+			cat = loaded
+			log.Printf("sqlserverd: restored snapshot %s", *snapshot)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("sqlserverd: loading snapshot: %v", err)
+		}
+	}
+
+	eng := engine.New(cat)
+	if *initScript != "" {
+		src, err := os.ReadFile(*initScript)
+		if err != nil {
+			log.Fatalf("sqlserverd: %v", err)
+		}
+		sess := eng.NewSession("dbo")
+		if _, err := sess.ExecScript(string(src)); err != nil {
+			log.Fatalf("sqlserverd: init script: %v", err)
+		}
+		log.Printf("sqlserverd: ran init script %s", *initScript)
+	}
+
+	srv := server.New(eng)
+	srv.SnapshotPath = *snapshot
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatalf("sqlserverd: %v", err)
+	}
+	fmt.Printf("sqlserverd: listening on %s\n", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *snapshot != "" && *checkpoint > 0 {
+		ticker = time.NewTicker(*checkpoint)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			if err := srv.Checkpoint(); err != nil {
+				log.Printf("sqlserverd: checkpoint: %v", err)
+			}
+		case <-stop:
+			log.Printf("sqlserverd: shutting down")
+			if err := srv.Checkpoint(); err != nil {
+				log.Printf("sqlserverd: final checkpoint: %v", err)
+			}
+			srv.Close()
+			return
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Network monitoring: the network-management scenario from the paper's
+// introduction. Link failures and recoveries are rows inserted by probes;
+// ECA rules detect silence (NOT), failure cascades (SEQ in CHRONICLE
+// context), and run a periodic health check (P) — all without touching the
+// monitoring application, which just INSERTs.
+//
+//	go run ./examples/networkmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/agent"
+	"github.com/activedb/ecaagent/internal/catalog"
+	"github.com/activedb/ecaagent/internal/engine"
+)
+
+func main() {
+	eng := engine.New(catalog.New())
+	a, err := agent.New(agent.Config{
+		Dial:       agent.LocalDialer(eng),
+		NotifyAddr: "-",
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	eng.SetNotifier(func(h string, p int, msg string) error { a.Deliver(msg); return nil })
+
+	cs, err := a.NewClientSession("noc", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cs.Close()
+
+	must(cs.Exec(`create database netmon`))
+	must(cs.Exec(`use netmon
+create table failures (link varchar(20), detail varchar(60) null)
+create table recoveries (link varchar(20))
+create table probes (n int null)
+create table escalations (note varchar(100) null)`))
+
+	// Primitive events for the three probe feeds.
+	must(cs.Exec("create trigger t_fail on failures for insert event linkDown as print 'failure logged'"))
+	must(cs.Exec("create trigger t_rec on recoveries for insert event linkUp as print 'recovery logged'"))
+	must(cs.Exec("create trigger t_probe on probes for insert event probeRun as print 'probe ran'"))
+
+	// Rule: a probe completes and the link has NOT recovered since it went
+	// down -> escalate, with the failing rows as parameters.
+	must(cs.Exec(`create trigger t_escalate
+event stillDown = NOT(linkDown, linkUp, probeRun)
+as
+insert escalations select link + ' (' + detail + ') still down at probe time' from failures.inserted
+print 'ESCALATION: link outage confirmed by probe'`))
+
+	// Rule: two failures in sequence (CHRONICLE pairs them FIFO) -> cascade
+	// alarm.
+	must(cs.Exec(`create trigger t_cascade
+event cascade = linkDown ; linkDown
+CHRONICLE
+as print 'ALARM: cascading failures detected'`))
+
+	fmt.Println("--- scenario 1: failure confirmed by probe (no recovery) ---")
+	must(cs.Exec("insert failures values ('wan-1', 'fiber cut')"))
+	must(cs.Exec("insert probes values (1)"))
+	drain(a, 3) // t_fail, t_probe, t_escalate
+
+	fmt.Println("--- scenario 2: failure followed by recovery: no escalation ---")
+	must(cs.Exec("insert failures values ('wan-2', 'flap')"))
+	drain(a, 2) // t_fail + t_cascade (wan-1 ; wan-2 pair FIFO)
+	must(cs.Exec("insert recoveries values ('wan-2')"))
+	must(cs.Exec("insert probes values (2)"))
+	drain(a, 2) // t_rec, t_probe — no escalation this time
+
+	fmt.Println("--- results ---")
+	rs, err := cs.Query("select note from escalations")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rs.Format())
+	if len(rs.Rows) != 1 {
+		log.Fatalf("expected exactly one escalation, got %d", len(rs.Rows))
+	}
+	fmt.Println("exactly one escalation, as the NOT semantics require")
+}
+
+func drain(a *agent.Agent, n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case res := <-a.ActionDone:
+			if res.Err != nil {
+				log.Fatalf("rule %s failed: %v", res.Rule, res.Err)
+			}
+			for _, m := range res.Messages {
+				fmt.Printf("  [%s] %s\n", shortName(res.Rule), m)
+			}
+		case <-time.After(5 * time.Second):
+			log.Fatalf("timed out waiting for action %d/%d", i+1, n)
+		}
+	}
+}
+
+func shortName(internal string) string {
+	for i := len(internal) - 1; i >= 0; i-- {
+		if internal[i] == '.' {
+			return internal[i+1:]
+		}
+	}
+	return internal
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

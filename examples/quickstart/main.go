@@ -1,0 +1,85 @@
+// Quickstart: turn the passive SQL server into an active database in ~60
+// lines. An in-process deployment (engine + ECA agent) defines one
+// primitive-event rule and watches it fire.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/agent"
+	"github.com/activedb/ecaagent/internal/catalog"
+	"github.com/activedb/ecaagent/internal/engine"
+)
+
+func main() {
+	// 1. A passive SQL server (in-process engine).
+	eng := engine.New(catalog.New())
+
+	// 2. The ECA agent mediating access to it.
+	a, err := agent.New(agent.Config{
+		Dial:       agent.LocalDialer(eng),
+		NotifyAddr: "-", // in-process notification delivery
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	eng.SetNotifier(func(host string, port int, msg string) error {
+		a.Deliver(msg)
+		return nil
+	})
+
+	// 3. A client session through the agent: ordinary SQL passes through.
+	cs, err := a.NewClientSession("sharma", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cs.Close()
+	must(cs.Exec(`create database sentineldb`))
+	must(cs.Exec(`use sentineldb
+create table stock (symbol varchar(10), price float null)`))
+
+	// 4. The paper's Example 1: an ECA rule in extended trigger syntax.
+	results, err := cs.Exec(`create trigger t_addStk on stock for insert
+event addStk
+as print 'trigger t_addStk on primitive event addStk occurs'
+select * from stock`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rs := range results {
+		for _, m := range rs.Messages {
+			fmt.Println("agent:", m)
+		}
+	}
+
+	// 5. Plain DML fires the rule asynchronously.
+	must(cs.Exec("insert stock values ('IBM', 101.5)"))
+
+	select {
+	case res := <-a.ActionDone:
+		fmt.Printf("rule %s fired on event %s\n", res.Rule, res.Event)
+		for _, m := range res.Messages {
+			fmt.Println("action:", m)
+		}
+		for _, rs := range res.Results {
+			if rs.Schema != nil {
+				fmt.Print(rs.Format())
+			}
+		}
+	case <-time.After(5 * time.Second):
+		log.Fatal("rule never fired")
+	}
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

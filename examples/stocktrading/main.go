@@ -1,0 +1,179 @@
+// Stock trading: the commodity-trading scenario the paper's introduction
+// motivates, run as the full network deployment — sqlserverd and the ECA
+// agent as separate TCP services, clients connected to the agent's
+// gateway, notifications over UDP.
+//
+// Rules demonstrated:
+//
+//   - a primitive-event audit rule on every trade (Example 1 pattern)
+//
+//   - the paper's Example 2 composite: addDel = delStk ^ addStk
+//
+//   - a CUMULATIVE A* rule that batches all trades inside a session window
+//
+//     go run ./examples/stocktrading
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/agent"
+	"github.com/activedb/ecaagent/internal/catalog"
+	"github.com/activedb/ecaagent/internal/client"
+	"github.com/activedb/ecaagent/internal/engine"
+	"github.com/activedb/ecaagent/internal/server"
+)
+
+func main() {
+	// --- the SQL server process ---
+	srv := server.New(engine.New(catalog.New()))
+	srv.Logf = func(string, ...any) {}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Println("SQL server listening on", srv.Addr())
+
+	// --- the ECA agent process ---
+	a, err := agent.New(agent.Config{
+		Dial: agent.TCPDialer(srv.Addr()),
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.ListenGateway("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	host, port := a.NotifyEndpoint()
+	fmt.Printf("ECA agent gateway on %s (UDP notifications on %s:%d)\n\n", a.GatewayAddr(), host, port)
+
+	// --- a trading client, connected to the agent exactly as it would
+	// connect to the server (transparency) ---
+	c, err := client.Connect(a.GatewayAddr(), client.Options{User: "sharma"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	mustExec(c, `create database trading
+go
+use trading
+create table stock (symbol varchar(10), price float null)
+create table session_log (note varchar(80) null)
+go`)
+
+	// Rule 1: audit every insert (primitive event).
+	mustExec(c, `create trigger t_audit on stock for insert
+event addStk
+as insert session_log values ('trade recorded')`)
+
+	// Rule 2: delete event + the paper's Example 2 composite.
+	mustExec(c, `create trigger t_del on stock for delete
+event delStk
+as print 'position closed'`)
+	mustExec(c, `create trigger t_and
+event addDel = delStk ^ addStk
+RECENT
+as
+print 'trigger t_and on composite event addDel = delStk ^ addStk'
+select symbol, price from stock.inserted`)
+
+	// Rule 3: batch all buys between session open and close (A* cumulative
+	// window bracketed by explicit marker events).
+	mustExec(c, `create table session_open (n int null)
+create table session_close (n int null)`)
+	mustExec(c, `create trigger t_open on session_open for insert
+event sessOpen
+as print 'session opened'`)
+	mustExec(c, `create trigger t_close on session_close for insert
+event sessClose
+as print 'session closing'`)
+	mustExec(c, `create trigger t_batch
+event sessionBatch = A*(sessOpen, addStk, sessClose)
+CUMULATIVE
+as
+print 'session closed: batched trades follow'
+select symbol, price from stock.inserted`)
+
+	fmt.Println("--- trading day begins ---")
+	mustExec(c, "insert session_open values (1)")
+	mustExec(c, "insert stock values ('IBM', 101.5)")
+	mustExec(c, "insert stock values ('T', 22.25)")
+	mustExec(c, "delete stock where symbol = 'T'") // completes addDel
+	mustExec(c, "insert stock values ('HP', 48)")
+	mustExec(c, "insert session_close values (1)") // closes the A* window
+
+	// Collect asynchronous rule executions.
+	deadline := time.After(10 * time.Second)
+	fired := map[string]int{}
+	// Expected: 1 open + 3 audits + 1 position-close + 2 composite addDel
+	// (in RECENT context the delStk initiator is retained and re-pairs
+	// with the later HP insert) + 1 close marker + 1 session batch
+	// = 9 actions.
+	for done := 0; done < 9; {
+		select {
+		case res := <-a.ActionDone:
+			if res.Err != nil {
+				log.Fatalf("rule %s failed: %v", res.Rule, res.Err)
+			}
+			fired[res.Rule]++
+			done++
+			fmt.Printf("\n[rule fired] %s on %s\n", res.Rule, res.Event)
+			for _, m := range res.Messages {
+				fmt.Println(" ", m)
+			}
+			for _, rs := range res.Results {
+				if rs.Schema != nil && len(rs.Rows) > 0 {
+					fmt.Print(indent(rs.Format()))
+				}
+			}
+		case <-deadline:
+			log.Fatalf("timed out; fired so far: %v", fired)
+		}
+	}
+
+	fmt.Println("\n--- summary ---")
+	rs, err := c.Query("select count(*) from session_log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audited trades: %s\n", rs.Rows[0][0].AsString())
+	for rule, n := range fired {
+		fmt.Printf("%-40s fired %d time(s)\n", rule, n)
+	}
+}
+
+func mustExec(c *client.Conn, sql string) {
+	if err := c.MustExec(sql); err != nil {
+		log.Fatalf("%s\n-> %v", sql, err)
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

@@ -1,0 +1,141 @@
+// Order workflow: the workflow / process-control scenario from the paper's
+// introduction. An order moves through placed -> approved -> shipped
+// tables; ECA rules chain the stages with SEQ, enforce priorities, and use
+// DEFERRED coupling to hold audit work until an explicit boundary (the
+// paper's future-work coupling mode, implemented here).
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/agent"
+	"github.com/activedb/ecaagent/internal/catalog"
+	"github.com/activedb/ecaagent/internal/engine"
+)
+
+func main() {
+	eng := engine.New(catalog.New())
+	a, err := agent.New(agent.Config{
+		Dial:       agent.LocalDialer(eng),
+		NotifyAddr: "-",
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	eng.SetNotifier(func(h string, p int, msg string) error { a.Deliver(msg); return nil })
+
+	cs, err := a.NewClientSession("ops", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cs.Close()
+
+	must(cs.Exec("create database orders"))
+	must(cs.Exec(`use orders
+create table placed (id int, item varchar(20) null)
+create table approved (id int)
+create table shipped (id int)
+create table audit_log (entry varchar(80) null)`))
+
+	// Stage events.
+	must(cs.Exec("create trigger t_placed on placed for insert event orderPlaced as print 'stage: placed'"))
+	must(cs.Exec("create trigger t_approved on approved for insert event orderApproved as print 'stage: approved'"))
+	must(cs.Exec("create trigger t_shipped on shipped for insert event orderShipped as print 'stage: shipped'"))
+
+	// The complete workflow: placed ; approved ; shipped, paired FIFO per
+	// order (CHRONICLE), with the placed rows as parameters.
+	must(cs.Exec(`create trigger t_complete
+event fullCycle = orderPlaced ; orderApproved ; orderShipped
+CHRONICLE
+as
+print 'workflow complete for:'
+select id, item from placed.inserted`))
+
+	// Two rules on the shipment event with different priorities: billing
+	// must run before the courtesy email.
+	must(cs.Exec("create trigger t_billing event orderShipped 10 as print 'billing: invoice issued'"))
+	must(cs.Exec("create trigger t_email event orderShipped 1 as print 'email: shipment notice sent'"))
+
+	// Deferred audit: queued on every stage, executed at the day boundary.
+	must(cs.Exec(`create trigger t_audit event orderPlaced DEFERRED
+as insert audit_log values ('order placed (audited at day end)')`))
+
+	fmt.Println("--- order 1 moves through the workflow ---")
+	must(cs.Exec("insert placed values (1, 'widgets')"))
+	drain(a, 1) // t_placed (t_audit is deferred)
+	must(cs.Exec("insert approved values (1)"))
+	drain(a, 1) // t_approved
+	must(cs.Exec("insert shipped values (1)"))
+	// t_shipped + t_complete + t_billing + t_email, priorities first.
+	order := drain(a, 4)
+	if idx(order, "t_billing") > idx(order, "t_email") {
+		log.Fatalf("priority violated: %v", order)
+	}
+	fmt.Println("  (billing ran before email: priorities honoured)")
+
+	fmt.Println("--- day end: flush deferred audits ---")
+	rs := must(cs.Query("select count(*) from audit_log"))
+	fmt.Printf("  audit rows before flush: %s\n", rs.Rows[0][0].AsString())
+	a.FlushDeferred()
+	drain(a, 1) // the deferred t_audit
+	rs = must(cs.Query("select count(*) from audit_log"))
+	fmt.Printf("  audit rows after flush:  %s\n", rs.Rows[0][0].AsString())
+	if rs.Rows[0][0].Int() != 1 {
+		log.Fatal("deferred audit did not run")
+	}
+}
+
+func drain(a *agent.Agent, n int) []string {
+	var rules []string
+	for i := 0; i < n; i++ {
+		select {
+		case res := <-a.ActionDone:
+			if res.Err != nil {
+				log.Fatalf("rule %s failed: %v", res.Rule, res.Err)
+			}
+			rules = append(rules, shortName(res.Rule))
+			for _, m := range res.Messages {
+				fmt.Printf("  [%s] %s\n", shortName(res.Rule), m)
+			}
+			for _, r := range res.Results {
+				if r.Schema != nil && len(r.Rows) > 0 {
+					fmt.Print("    " + r.Format())
+				}
+			}
+		case <-time.After(5 * time.Second):
+			log.Fatalf("timed out waiting for action %d/%d (saw %v)", i+1, n, rules)
+		}
+	}
+	return rules
+}
+
+func idx(list []string, want string) int {
+	for i, s := range list {
+		if s == want {
+			return i
+		}
+	}
+	return -1
+}
+
+func shortName(internal string) string {
+	for i := len(internal) - 1; i >= 0; i-- {
+		if internal[i] == '.' {
+			return internal[i+1:]
+		}
+	}
+	return internal
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module github.com/activedb/ecaagent
+
+go 1.22

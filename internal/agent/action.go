@@ -1,0 +1,118 @@
+package agent
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/activedb/ecaagent/internal/led"
+	"github.com/activedb/ecaagent/internal/sqltypes"
+)
+
+// ActionParam is the Go analog of the paper's NotiStr structure
+// (Figure 13): everything the action interface needs to invoke a rule's
+// stored procedure in the SQL server when the LED detects its event.
+type ActionParam struct {
+	StoreProc string      // stored procedure to execute
+	EventName string      // detected event
+	Context   led.Context // parameter context to materialize
+	DB        string      // database holding the procedure and sysContext
+}
+
+// ActionResult reports one completed rule action; the agent publishes
+// these on its ActionDone channel so applications (and tests) can observe
+// asynchronous rule executions.
+type ActionResult struct {
+	Rule     string
+	Event    string
+	Occ      *led.Occ
+	Messages []string
+	Results  []*sqltypes.ResultSet
+	Err      error
+}
+
+// actionHandler implements Figure 16: each detected occurrence invokes the
+// rule's stored procedure through its own upstream connection. sysContext
+// population and procedure execution are serialized (the paper shares one
+// sysContext table per database, so two concurrent materializations of the
+// same (table, context) pair would trample each other).
+type actionHandler struct {
+	up Upstream
+}
+
+func newActionHandler(dial UpstreamDialer, admin string) (*actionHandler, error) {
+	up, err := dial(admin, "")
+	if err != nil {
+		return nil, fmt.Errorf("agent: action handler connection: %w", err)
+	}
+	return &actionHandler{up: up}, nil
+}
+
+func (h *actionHandler) close() { h.up.Close() }
+
+// invoke materializes the occurrence's parameter context into sysContext
+// (§5.6's four steps) and executes the action procedure. It returns the
+// informational messages the action produced.
+//
+// The caller (Agent.runAction) holds the agent's action mutex, making the
+// populate + execute pair atomic with respect to other actions.
+func (h *actionHandler) invoke(p ActionParam, occ *led.Occ) ([]*sqltypes.ResultSet, []string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "use %s\n", p.DB)
+
+	// Steps 2-3 of §5.6: derive the (tableName, context, vNo) list from
+	// the LED occurrence and replace the previous occurrence's tuples.
+	// sysContext rows are keyed by the *shadow* table (stock_inserted /
+	// stock_deleted) rather than the base table the paper's Figure 14
+	// shows: each event keeps its own vNo counter, so rows keyed only by
+	// base table would cross-match occurrences of different events on the
+	// same table. EXPERIMENTS.md records this correctness fix.
+	type key struct {
+		table string
+		vno   int
+	}
+	seen := make(map[key]bool)
+	tables := make(map[string]bool)
+	var inserts []string
+	record := func(shadow string, vno int) {
+		k := key{table: shadow, vno: vno}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		tables[shadow] = true
+		inserts = append(inserts, fmt.Sprintf("insert %s values ('%s', '%s', %d)",
+			TabContext, sqlEscape(shadow), p.Context, vno))
+	}
+	for _, c := range occ.Constituents {
+		if c.Table == "" {
+			continue // temporal/tick constituents carry no tuples
+		}
+		switch c.Op {
+		case "insert":
+			record(shadowTableName(c.Table, "inserted"), c.VNo)
+		case "delete":
+			record(shadowTableName(c.Table, "deleted"), c.VNo)
+		case "update":
+			record(shadowTableName(c.Table, "inserted"), c.VNo)
+			record(shadowTableName(c.Table, "deleted"), c.VNo)
+		}
+	}
+	for t := range tables {
+		fmt.Fprintf(&b, "delete %s where tableName = '%s' and context = '%s'\n",
+			TabContext, sqlEscape(t), p.Context)
+	}
+	for _, ins := range inserts {
+		b.WriteString(ins)
+		b.WriteByte('\n')
+	}
+	// Step 4: the procedure joins sysContext with the shadow tables and
+	// runs the user action.
+	fmt.Fprintf(&b, "execute %s", p.StoreProc)
+
+	results, err := h.up.Exec(b.String())
+	var msgs []string
+	for _, rs := range results {
+		msgs = append(msgs, rs.Messages...)
+	}
+	return results, msgs, err
+}

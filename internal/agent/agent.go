@@ -1,0 +1,575 @@
+package agent
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/activedb/ecaagent/internal/led"
+	"github.com/activedb/ecaagent/internal/snoop"
+	"github.com/activedb/ecaagent/internal/sqlparse"
+)
+
+// Config configures an Agent.
+type Config struct {
+	// Dial opens upstream connections to the SQL server. Required.
+	Dial UpstreamDialer
+	// AdminUser is the privileged login the Persistent Manager and Action
+	// Handler use (the paper grants the agent's connection DBA privilege).
+	// Defaults to "dbo".
+	AdminUser string
+	// NotifyAddr is the UDP address the Event Notifier binds
+	// ("127.0.0.1:0" by default). Set to "-" to disable the UDP listener
+	// for fully in-process deployments; notifications then arrive only via
+	// Deliver.
+	NotifyAddr string
+	// NotifyHost / NotifyPort override the address the code generator
+	// embeds in triggers; by default the notifier's bound address is used.
+	NotifyHost string
+	NotifyPort int
+	// Clock drives the LED's temporal operators; nil selects real time.
+	Clock led.Clock
+	// ActionBuffer sizes the ActionDone channel (default 256). When the
+	// buffer is full, completed-action reports are dropped (the channel is
+	// observational; rule execution itself is unaffected).
+	ActionBuffer int
+	// Forward, when set, receives every decoded primitive occurrence after
+	// local detection — the hook a Global Event Detector site uses
+	// (internal/ged) for the paper's distributed future-work extension.
+	Forward func(p led.Primitive)
+	// Logf receives diagnostics; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// eventInfo is the agent's registration record for one event.
+type eventInfo struct {
+	Name      string // internal db.user.event
+	DB        string
+	User      string
+	Primitive bool
+	Table     string // internal db.user.table (primitive only)
+	Op        sqlparse.TriggerOp
+	Expr      string // expanded Snoop expression (composite only)
+}
+
+// triggerInfo is the registration record for one ECA trigger (rule).
+type triggerInfo struct {
+	Name     string // internal db.user.trigger
+	DB       string
+	User     string
+	Event    string // internal event name
+	Proc     string // internal action procedure name
+	Coupling led.Coupling
+	Context  led.Context
+	Priority int
+}
+
+// Agent is the ECA agent: a mediator that adds full active-database
+// capability to the SQL server it fronts (Figure 2 of the paper).
+type Agent struct {
+	cfg      Config
+	led      *led.LED
+	pm       *persistentManager
+	actions  *actionHandler
+	notifier *notifier
+
+	mu       sync.Mutex
+	events   map[string]*eventInfo   // internal event name → info
+	triggers map[string]*triggerInfo // internal trigger name → info
+	// nativeByTableOp maps "db|table|op" to the owning primitive event,
+	// enforcing one primitive event per native trigger slot.
+	nativeByTableOp map[string]string
+
+	// actionMu guards actionTail; actions themselves run on goroutines
+	// chained FIFO through tail tickets, so sysContext population + action
+	// execution pairs are serialized *in detection (priority) order*.
+	actionMu   sync.Mutex
+	actionTail chan struct{}
+	// actionWG tracks in-flight rule actions.
+	actionWG sync.WaitGroup
+	// ActionDone receives a report for every completed rule action.
+	ActionDone chan ActionResult
+
+	// ctr holds the operational counters surfaced by Stats().
+	ctr counters
+
+	gateway *gateway
+}
+
+// New starts an agent: it connects the Persistent Manager and Action
+// Handler to the server, restores persisted ECA rules (recovery, Figure 8),
+// and starts the Event Notifier.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("agent: Config.Dial is required")
+	}
+	if cfg.AdminUser == "" {
+		cfg.AdminUser = "dbo"
+	}
+	if cfg.NotifyAddr == "" {
+		cfg.NotifyAddr = "127.0.0.1:0"
+	}
+	if cfg.ActionBuffer <= 0 {
+		cfg.ActionBuffer = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	a := &Agent{
+		cfg:             cfg,
+		led:             led.New(cfg.Clock),
+		events:          make(map[string]*eventInfo),
+		triggers:        make(map[string]*triggerInfo),
+		nativeByTableOp: make(map[string]string),
+		ActionDone:      make(chan ActionResult, cfg.ActionBuffer),
+	}
+	pm, err := newPersistentManager(cfg.Dial, cfg.AdminUser)
+	if err != nil {
+		return nil, err
+	}
+	a.pm = pm
+	actions, err := newActionHandler(cfg.Dial, cfg.AdminUser)
+	if err != nil {
+		pm.close()
+		return nil, err
+	}
+	a.actions = actions
+	if cfg.NotifyAddr != "-" {
+		n, err := startNotifier(a, cfg.NotifyAddr)
+		if err != nil {
+			pm.close()
+			actions.close()
+			return nil, err
+		}
+		a.notifier = n
+	}
+	if err := a.recover(); err != nil {
+		a.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// Close shuts the agent down: gateway, notifier, in-flight actions, and
+// upstream connections.
+func (a *Agent) Close() {
+	if a.gateway != nil {
+		a.gateway.close()
+	}
+	if a.notifier != nil {
+		a.notifier.close()
+	}
+	a.actionWG.Wait()
+	a.led.Wait()
+	a.actions.close()
+	a.pm.close()
+}
+
+// LED exposes the embedded local event detector (benchmarks and tests).
+func (a *Agent) LED() *led.LED { return a.led }
+
+// NotifyEndpoint returns the host and port the generated triggers send
+// notifications to.
+func (a *Agent) NotifyEndpoint() (string, int) {
+	if a.cfg.NotifyHost != "" {
+		return a.cfg.NotifyHost, a.cfg.NotifyPort
+	}
+	if a.notifier != nil {
+		return a.notifier.addr()
+	}
+	return "127.0.0.1", 0
+}
+
+// Deliver injects one notification message, exactly as if it had arrived
+// on the UDP socket — the entry point for in-process deployments and the
+// UDP-vs-inproc ablation.
+func (a *Agent) Deliver(msg string) {
+	a.ctr.notifReceived.Add(1)
+	event, table, op, vno, err := parseNotification(msg)
+	if err != nil {
+		a.ctr.notifDropped.Add(1)
+		a.cfg.Logf("agent: dropping notification: %v", err)
+		return
+	}
+	p := led.Primitive{Event: event, Table: table, Op: op, VNo: vno}
+	a.led.Signal(p)
+	if a.cfg.Forward != nil {
+		a.cfg.Forward(p)
+	}
+}
+
+// FlushDeferred executes queued DEFERRED rule actions (transaction
+// boundary).
+func (a *Agent) FlushDeferred() { a.led.FlushDeferred() }
+
+// WaitActions blocks until all in-flight rule actions complete.
+func (a *Agent) WaitActions() {
+	a.led.Wait()
+	a.actionWG.Wait()
+}
+
+// Events lists registered internal event names, sorted.
+func (a *Agent) Events() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.events))
+	for n := range a.events {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Triggers lists registered internal trigger names, sorted.
+func (a *Agent) Triggers() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.triggers))
+	for n := range a.triggers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsECATrigger reports whether the (possibly unqualified) trigger name
+// resolves to an ECA trigger for a session in (db, user).
+func (a *Agent) IsECATrigger(db, user string, parts []string) bool {
+	internal, err := expandName(db, user, parts)
+	if err != nil {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.triggers[internal]
+	return ok
+}
+
+// CreateTrigger processes a parsed ECA trigger definition for a session in
+// (db, user): name expansion, validation, code generation, server
+// installation, LED registration and persistence — the seven steps of
+// Figure 3.
+func (a *Agent) CreateTrigger(db, user string, def *TriggerDef) (messages []string, err error) {
+	if db == "" || user == "" {
+		return nil, fmt.Errorf("agent: no current database or user")
+	}
+	trigName, err := expandName(db, user, def.TriggerName)
+	if err != nil {
+		return nil, err
+	}
+	eventName, err := expandEventName(db, user, def.EventName)
+	if err != nil {
+		return nil, err
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, exists := a.triggers[trigName]; exists {
+		return nil, fmt.Errorf("agent: trigger %s already exists", trigName)
+	}
+
+	if err := a.pm.ensureDatabase(db); err != nil {
+		return nil, err
+	}
+
+	switch {
+	case len(def.TableName) > 0: // Figure 9: new primitive event
+		messages, err = a.createPrimitive(db, user, trigName, eventName, def)
+	case def.EventExpr != "": // Figure 12: new composite event
+		messages, err = a.createComposite(db, user, trigName, eventName, def)
+	default: // Figure 10: trigger on an existing event
+		messages, err = a.createOnExisting(db, user, trigName, eventName, def)
+	}
+	return messages, err
+}
+
+// createPrimitive implements Example 1 (§5.2). Caller holds a.mu.
+func (a *Agent) createPrimitive(db, user, trigName, eventName string, def *TriggerDef) ([]string, error) {
+	if _, exists := a.events[eventName]; exists {
+		return nil, fmt.Errorf("agent: event %s already exists (define the trigger on the existing event instead)", eventName)
+	}
+	table, err := expandName(db, user, def.TableName)
+	if err != nil {
+		return nil, err
+	}
+	tdb, _, tobj, _ := splitInternal(table)
+	if tdb != db {
+		return nil, fmt.Errorf("agent: event table %s must be in the current database %s", table, db)
+	}
+	slot := strings.ToLower(db + "|" + tobj + "|" + string(def.Operation))
+	if owner, taken := a.nativeByTableOp[slot]; taken {
+		return nil, fmt.Errorf("agent: event %s already monitors %s for %s (the native server allows one trigger per table and operation; reuse that event)",
+			owner, tobj, def.Operation)
+	}
+
+	// Install the Figure 11 artifacts.
+	host, port := a.NotifyEndpoint()
+	batches := genPrimitiveEvent(eventName, table, def.Operation, host, port)
+	useDB := "use " + db + "\n"
+	if err := execIgnoreExists(a.pm.up, prefixAll(useDB, batches[:len(batches)-1])); err != nil {
+		return nil, err
+	}
+	if _, err := a.pm.exec(useDB + batches[len(batches)-1]); err != nil {
+		return nil, err
+	}
+
+	if err := a.led.DefinePrimitive(eventName); err != nil {
+		return nil, err
+	}
+	if err := a.pm.savePrimitive(db, user, eventName, table, string(def.Operation)); err != nil {
+		return nil, err
+	}
+	a.events[eventName] = &eventInfo{
+		Name: eventName, DB: db, User: user, Primitive: true, Table: table, Op: def.Operation,
+	}
+	a.nativeByTableOp[slot] = eventName
+
+	msgs, err := a.installRule(db, user, trigName, eventName, def)
+	if err != nil {
+		return msgs, err
+	}
+	return append([]string{fmt.Sprintf("primitive event %s created on %s for %s", eventName, table, def.Operation)}, msgs...), nil
+}
+
+// createComposite implements Example 2 (§5.3). Caller holds a.mu.
+func (a *Agent) createComposite(db, user, trigName, eventName string, def *TriggerDef) ([]string, error) {
+	if _, exists := a.events[eventName]; exists {
+		return nil, fmt.Errorf("agent: event %s already exists", eventName)
+	}
+	expr, err := snoop.Parse(def.EventExpr)
+	if err != nil {
+		return nil, err
+	}
+	expanded, err := a.expandExprLocked(db, user, expr)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.led.DefineComposite(eventName, expanded); err != nil {
+		return nil, err
+	}
+	if err := a.pm.saveComposite(db, user, eventName, expanded.String(), def.Coupling, def.Context, def.Priority); err != nil {
+		return nil, err
+	}
+	a.events[eventName] = &eventInfo{
+		Name: eventName, DB: db, User: user, Expr: expanded.String(),
+	}
+	msgs, err := a.installRule(db, user, trigName, eventName, def)
+	if err != nil {
+		return msgs, err
+	}
+	return append([]string{fmt.Sprintf("composite event %s = %s created", eventName, expanded)}, msgs...), nil
+}
+
+// createOnExisting implements Figure 10. Caller holds a.mu.
+func (a *Agent) createOnExisting(db, user, trigName, eventName string, def *TriggerDef) ([]string, error) {
+	if _, ok := a.events[eventName]; !ok {
+		return nil, fmt.Errorf("agent: event %s is not defined", eventName)
+	}
+	return a.installRule(db, user, trigName, eventName, def)
+}
+
+// expandExprLocked rewrites every event reference in a Snoop expression to
+// its internal name and verifies it is defined.
+func (a *Agent) expandExprLocked(db, user string, expr snoop.Expr) (snoop.Expr, error) {
+	var walkErr error
+	snoop.Walk(expr, func(e snoop.Expr) {
+		ref, ok := e.(*snoop.EventRef)
+		if !ok || walkErr != nil {
+			return
+		}
+		internal, err := expandEventName(db, user, ref.Name)
+		if err != nil {
+			walkErr = err
+			return
+		}
+		if _, defined := a.events[internal]; !defined {
+			walkErr = fmt.Errorf("agent: event %s is not defined", ref.Name)
+			return
+		}
+		ref.Name = internal
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return expr, nil
+}
+
+// installRule generates the action procedure (Figure 14), installs it, and
+// attaches the LED rule whose action invokes it via the Action Handler.
+// Caller holds a.mu.
+func (a *Agent) installRule(db, user, trigName, eventName string, def *TriggerDef) ([]string, error) {
+	action, shadows, err := rewriteAction(db, user, def.ActionSQL)
+	if err != nil {
+		return nil, err
+	}
+	for _, sr := range shadows {
+		sdb, _, _, _ := splitInternal(sr.Table)
+		if sdb != db {
+			return nil, fmt.Errorf("agent: context table %s is outside the current database", sr.Table)
+		}
+	}
+	procName := actionProcName(trigName)
+	useDB := "use " + db + "\n"
+	if err := execIgnoreExists(a.pm.up, prefixAll(useDB, genTmpTables(shadows))); err != nil {
+		return nil, err
+	}
+	if _, err := a.pm.exec(useDB + genActionProc(procName, def.Context.String(), action, shadows)); err != nil {
+		return nil, err
+	}
+
+	info := &triggerInfo{
+		Name: trigName, DB: db, User: user, Event: eventName, Proc: procName,
+		Coupling: def.Coupling, Context: def.Context, Priority: def.Priority,
+	}
+	if err := a.addLEDRule(info); err != nil {
+		// Roll the procedure back so a retry is possible.
+		_, _ = a.pm.exec(useDB + "drop procedure " + procName)
+		return nil, err
+	}
+	if err := a.pm.saveTrigger(db, user, trigName, procName, eventName, def.Coupling, def.Context, def.Priority); err != nil {
+		return nil, err
+	}
+	a.triggers[trigName] = info
+	return []string{fmt.Sprintf("trigger %s created on event %s (%s, %s, priority %d)",
+		trigName, eventName, info.Coupling, info.Context, info.Priority)}, nil
+}
+
+// addLEDRule wires a trigger's rule into the LED; its action is the
+// SybaseAction analog: spawn a handler that materializes the context and
+// executes the stored procedure (Figure 16).
+func (a *Agent) addLEDRule(info *triggerInfo) error {
+	param := ActionParam{
+		StoreProc: info.Proc,
+		EventName: info.Event,
+		Context:   info.Context,
+		DB:        info.DB,
+	}
+	return a.led.AddRule(&led.Rule{
+		Name:     info.Name,
+		Event:    info.Event,
+		Context:  info.Context,
+		Coupling: info.Coupling,
+		Priority: info.Priority,
+		Action: func(occ *led.Occ) {
+			a.actionWG.Add(1)
+			// FIFO ticket: this action starts only after the previous one
+			// finished, preserving priority order across goroutines.
+			a.actionMu.Lock()
+			prev := a.actionTail
+			done := make(chan struct{})
+			a.actionTail = done
+			a.actionMu.Unlock()
+			go a.runAction(info.Name, param, occ, prev, done)
+		},
+	})
+}
+
+// runAction executes one rule action in its own goroutine (one thread per
+// SybaseAction call, Figure 16), gated by its FIFO ticket.
+func (a *Agent) runAction(rule string, p ActionParam, occ *led.Occ, prev, done chan struct{}) {
+	defer a.actionWG.Done()
+	defer close(done)
+	if prev != nil {
+		<-prev
+	}
+	results, msgs, err := a.actions.invoke(p, occ)
+	a.ctr.actionsRun.Add(1)
+	if err != nil {
+		a.ctr.actionsFailed.Add(1)
+		a.cfg.Logf("agent: action %s on %s failed: %v", p.StoreProc, p.EventName, err)
+	}
+	select {
+	case a.ActionDone <- ActionResult{Rule: rule, Event: occ.Event, Occ: occ, Messages: msgs, Results: results, Err: err}:
+	default: // observational channel full — drop the report
+	}
+}
+
+// DropTrigger removes an ECA trigger: the LED rule, the stored procedure,
+// and the SysEcaTrigger row. Events persist and stay reusable, matching
+// the paper (contribution 3 drops triggers, not events).
+func (a *Agent) DropTrigger(db, user string, parts []string) ([]string, error) {
+	internal, err := expandName(db, user, parts)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	info, ok := a.triggers[internal]
+	if !ok {
+		return nil, fmt.Errorf("agent: trigger %s does not exist", internal)
+	}
+	if err := a.led.DropRule(internal); err != nil {
+		return nil, err
+	}
+	if _, err := a.pm.exec("use " + info.DB + "\ndrop procedure " + info.Proc); err != nil {
+		a.cfg.Logf("agent: dropping procedure %s: %v", info.Proc, err)
+	}
+	if err := a.pm.deleteTrigger(info.DB, internal); err != nil {
+		return nil, err
+	}
+	delete(a.triggers, internal)
+	return []string{fmt.Sprintf("trigger %s dropped", internal)}, nil
+}
+
+// recover restores events and rules from the system tables (Figure 8's
+// "On ECA Agent starting or recovery" path).
+func (a *Agent) recover() error {
+	prims, comps, trigs, err := a.pm.loadAll()
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	host, port := a.NotifyEndpoint()
+	for _, p := range prims {
+		if err := a.led.DefinePrimitive(p.Name); err != nil {
+			return fmt.Errorf("agent: recovery: %w", err)
+		}
+		op := sqlparse.TriggerOp(p.Op)
+		a.events[p.Name] = &eventInfo{
+			Name: p.Name, DB: p.DB, User: p.User, Primitive: true, Table: p.Table, Op: op,
+		}
+		_, _, tobj, err := splitInternal(p.Table)
+		if err == nil {
+			a.nativeByTableOp[strings.ToLower(p.DB+"|"+tobj+"|"+p.Op)] = p.Name
+		}
+		// The persisted native trigger embeds the *previous* agent
+		// instance's notification endpoint; regenerate it with ours (the
+		// server's silent trigger overwrite makes this a clean replace).
+		batches := genPrimitiveEvent(p.Name, p.Table, op, host, port)
+		if _, err := a.pm.exec("use " + p.DB + "\n" + batches[len(batches)-1]); err != nil {
+			return fmt.Errorf("agent: recovery: rebinding trigger for %s: %w", p.Name, err)
+		}
+	}
+	for _, c := range comps {
+		expr, err := snoop.Parse(c.Expr)
+		if err != nil {
+			return fmt.Errorf("agent: recovery: composite %s: %w", c.Name, err)
+		}
+		if err := a.led.DefineComposite(c.Name, expr); err != nil {
+			return fmt.Errorf("agent: recovery: %w", err)
+		}
+		a.events[c.Name] = &eventInfo{Name: c.Name, DB: c.DB, User: c.User, Expr: c.Expr}
+	}
+	for _, t := range trigs {
+		info := &triggerInfo{
+			Name: t.Name, DB: t.DB, User: t.User, Event: t.Event, Proc: t.Proc,
+			Coupling: t.Coupling, Context: t.Context, Priority: t.Priority,
+		}
+		if err := a.addLEDRule(info); err != nil {
+			return fmt.Errorf("agent: recovery: rule %s: %w", t.Name, err)
+		}
+		a.triggers[t.Name] = info
+	}
+	return nil
+}
+
+func prefixAll(prefix string, batches []string) []string {
+	out := make([]string, len(batches))
+	for i, b := range batches {
+		out[i] = prefix + b
+	}
+	return out
+}

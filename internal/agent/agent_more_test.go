@@ -1,0 +1,454 @@
+package agent
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/led"
+)
+
+// TestUpdateEventBothContexts: an UPDATE-operation event records both
+// pseudo-tables, and the action can read old and new images via
+// stock.deleted and stock.inserted.
+func TestUpdateEventBothContexts(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	if _, err := cs.Exec("insert stock values ('IBM', 100)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec(`create trigger t_upd on stock for update
+event priceChange
+as
+print 'old image:'
+select symbol, price from stock.deleted
+print 'new image:'
+select symbol, price from stock.inserted`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec("update stock set price = 120 where symbol = 'IBM'"); err != nil {
+		t.Fatal(err)
+	}
+	res := waitAction(t, r.agent)
+	if res.Err != nil {
+		t.Fatalf("action: %v", res.Err)
+	}
+	var prices []float64
+	for _, rs := range res.Results {
+		if rs.Schema != nil && len(rs.Rows) == 1 {
+			prices = append(prices, rs.Rows[0][1].Float())
+		}
+	}
+	if len(prices) != 2 || prices[0] != 100 || prices[1] != 120 {
+		t.Errorf("old/new prices: %v", prices)
+	}
+}
+
+// TestNativeTriggerPassThrough: a plain CREATE TRIGGER (no EVENT clause)
+// is not intercepted; it reaches the server and behaves natively,
+// including the silent-overwrite limitation.
+func TestNativeTriggerPassThrough(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	if _, err := cs.Exec("create trigger native1 on stock for insert as print 'native one'"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.agent.Triggers()) != 0 {
+		t.Fatal("native trigger registered as ECA trigger")
+	}
+	results, err := cs.Exec("insert stock values ('X', 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, rs := range results {
+		msgs = append(msgs, rs.Messages...)
+	}
+	if len(msgs) != 1 || msgs[0] != "native one" {
+		t.Errorf("native trigger output: %v", msgs)
+	}
+	// Silent overwrite passes through too.
+	if _, err := cs.Exec("create trigger native2 on stock for insert as print 'native two'"); err != nil {
+		t.Fatal(err)
+	}
+	results, _ = cs.Exec("insert stock values ('Y', 2)")
+	msgs = nil
+	for _, rs := range results {
+		msgs = append(msgs, rs.Messages...)
+	}
+	if len(msgs) != 1 || msgs[0] != "native two" {
+		t.Errorf("overwrite semantics through agent: %v", msgs)
+	}
+	// Dropping the native trigger also passes through.
+	if _, err := cs.Exec("drop trigger native2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActionErrorReported: a failing action procedure is reported on
+// ActionDone with its error, and the agent keeps running.
+func TestActionErrorReported(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	if _, err := cs.Exec(`create trigger t_bad on stock for insert event addStk
+as select * from table_that_does_not_exist`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec("insert stock values ('X', 1)"); err != nil {
+		t.Fatal(err)
+	}
+	res := waitAction(t, r.agent)
+	if res.Err == nil {
+		t.Fatal("failing action reported no error")
+	}
+	// The agent still processes subsequent events.
+	if _, err := cs.Exec("insert stock values ('Y', 2)"); err != nil {
+		t.Fatal(err)
+	}
+	res = waitAction(t, r.agent)
+	if res.Err == nil {
+		t.Error("second occurrence lost")
+	}
+}
+
+// TestContextRefreshAcrossFirings: each composite firing replaces the
+// previous occurrence's sysContext rows, so the action always sees the
+// current occurrence only.
+func TestContextRefreshAcrossFirings(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	setup := []string{
+		"create trigger t_add on stock for insert event addStk as print 'a'",
+		"create trigger t_del on stock for delete event delStk as print 'd'",
+		`create trigger t_and event both = delStk ^ addStk RECENT
+as select symbol from stock.inserted`,
+	}
+	for _, sql := range setup {
+		if _, err := cs.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insertedSymbol := func(res ActionResult) string {
+		for _, rs := range res.Results {
+			if rs.Schema != nil && len(rs.Rows) == 1 {
+				return rs.Rows[0][0].Str()
+			}
+		}
+		return fmt.Sprintf("<%d result sets>", len(res.Results))
+	}
+	fire := func(sym string) ActionResult {
+		t.Helper()
+		if _, err := cs.Exec(fmt.Sprintf("insert stock values ('%s', 1)", sym)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cs.Exec(fmt.Sprintf("delete stock where symbol = '%s'", sym)); err != nil {
+			t.Fatal(err)
+		}
+		var and ActionResult
+		for i := 0; i < 3; i++ { // t_add, t_del, t_and
+			res := waitAction(t, r.agent)
+			if strings.HasSuffix(res.Rule, "t_and") {
+				and = res
+			}
+		}
+		return and
+	}
+	if got := insertedSymbol(fire("AAA")); got != "AAA" {
+		t.Errorf("first firing saw %q", got)
+	}
+	if got := insertedSymbol(fire("BBB")); got != "BBB" {
+		t.Errorf("second firing saw %q (stale context?)", got)
+	}
+}
+
+// TestTwoUsersIndependentNamespaces: the §5.1 naming scheme keeps two
+// users' same-named triggers and events separate.
+func TestTwoUsersIndependentNamespaces(t *testing.T) {
+	r := newRig(t)
+	// A second user with their own table.
+	seed := r.eng.NewSession("li")
+	if _, err := seed.ExecScript("use sentineldb create table orders (id int null)"); err != nil {
+		t.Fatal(err)
+	}
+	csSharma := r.session(t, "sharma", "sentineldb")
+	csLi := r.session(t, "li", "sentineldb")
+
+	if _, err := csSharma.Exec("create trigger watch on stock for insert event ev as print 'sharma rule'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := csLi.Exec("create trigger watch on orders for insert event ev as print 'li rule'"); err != nil {
+		t.Fatalf("same-named trigger for another user rejected: %v", err)
+	}
+	events := r.agent.Events()
+	if len(events) != 2 || events[0] != "sentineldb.li.ev" || events[1] != "sentineldb.sharma.ev" {
+		t.Fatalf("events: %v", events)
+	}
+	// Each user's rule sees only their own event.
+	if _, err := csLi.Exec("insert orders values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	res := waitAction(t, r.agent)
+	if res.Rule != "sentineldb.li.watch" || res.Messages[0] != "li rule" {
+		t.Errorf("wrong rule fired: %+v", res)
+	}
+	// And each drops only their own.
+	if _, err := csLi.Exec("drop trigger watch"); err != nil {
+		t.Fatal(err)
+	}
+	trigs := r.agent.Triggers()
+	if len(trigs) != 1 || trigs[0] != "sentineldb.sharma.watch" {
+		t.Errorf("triggers after li's drop: %v", trigs)
+	}
+}
+
+// TestConcurrentRuleCreation: concurrent ECA definitions from different
+// sessions do not corrupt the registries.
+func TestConcurrentRuleCreation(t *testing.T) {
+	r := newRig(t)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cs, err := r.agent.NewClientSession("sharma", "sentineldb")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cs.Close()
+			var sql string
+			if i == 0 {
+				sql = "create trigger t0 on stock for insert event ev as print 'x'"
+			} else {
+				// Triggers on the (possibly not yet existing) event race;
+				// failures for the not-yet-defined event are acceptable,
+				// corruption is not.
+				sql = fmt.Sprintf("create trigger t%d event ev as print 'x'", i)
+			}
+			if _, err := cs.Exec(sql); err != nil &&
+				!strings.Contains(err.Error(), "not defined") {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Registry consistency: every registered trigger is on the event.
+	for _, tr := range r.agent.Triggers() {
+		if !strings.HasPrefix(tr, "sentineldb.sharma.t") {
+			t.Errorf("unexpected trigger %s", tr)
+		}
+	}
+	if len(r.agent.Events()) != 1 {
+		t.Errorf("events: %v", r.agent.Events())
+	}
+}
+
+// TestDetachedCouplingEndToEnd: a DETACHED rule runs off the detection
+// path but still completes.
+func TestDetachedCouplingEndToEnd(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	if _, err := cs.Exec("create trigger t on stock for insert event ev DETACHED as print 'detached ran'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec("insert stock values ('X', 1)"); err != nil {
+		t.Fatal(err)
+	}
+	res := waitAction(t, r.agent)
+	if len(res.Messages) != 1 || res.Messages[0] != "detached ran" {
+		t.Errorf("detached action: %+v", res)
+	}
+}
+
+// TestChronicleCompositeEndToEnd: CHRONICLE pairs initiators FIFO through
+// the whole stack, with the context materializing the paired occurrence.
+func TestChronicleCompositeEndToEnd(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	for _, sql := range []string{
+		"create trigger t_add on stock for insert event addStk as print 'a'",
+		"create trigger t_del on stock for delete event delStk as print 'd'",
+		`create trigger t_seq event seqEv = addStk ; delStk CHRONICLE
+as select symbol from stock.inserted`,
+	} {
+		if _, err := cs.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two inserts, then two deletes: CHRONICLE pairs 1st insert with 1st
+	// delete, 2nd with 2nd.
+	if _, err := cs.Exec("insert stock values ('FIRST', 1) insert stock values ('SECOND', 2)"); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the two t_add firings.
+	for i := 0; i < 2; i++ {
+		waitAction(t, r.agent)
+	}
+	var symbols []string
+	for _, victim := range []string{"SECOND", "FIRST"} { // delete order reversed
+		if _, err := cs.Exec(fmt.Sprintf("delete stock where symbol = '%s'", victim)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ { // t_del + t_seq
+			res := waitAction(t, r.agent)
+			if strings.HasSuffix(res.Rule, "t_seq") {
+				for _, rs := range res.Results {
+					if rs.Schema != nil && len(rs.Rows) == 1 {
+						symbols = append(symbols, rs.Rows[0][0].Str())
+					}
+				}
+			}
+		}
+	}
+	// FIFO: first composite pairs the FIRST insert, second pairs SECOND.
+	if fmt.Sprint(symbols) != "[FIRST SECOND]" {
+		t.Errorf("chronicle pairing: %v", symbols)
+	}
+}
+
+// TestCumulativeCompositeEndToEnd: CUMULATIVE delivers every buffered
+// constituent in one action.
+func TestCumulativeCompositeEndToEnd(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	for _, sql := range []string{
+		"create trigger t_add on stock for insert event addStk as print 'a'",
+		"create trigger t_del on stock for delete event delStk as print 'd'",
+		`create trigger t_cum event cum = addStk ^ delStk CUMULATIVE
+as select symbol from stock.inserted`,
+	} {
+		if _, err := cs.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cs.Exec("insert stock values ('A', 1) insert stock values ('B', 2) insert stock values ('C', 3)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		waitAction(t, r.agent)
+	}
+	if _, err := cs.Exec("delete stock where symbol = 'A'"); err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	for i := 0; i < 2; i++ { // t_del + t_cum
+		res := waitAction(t, r.agent)
+		if strings.HasSuffix(res.Rule, "t_cum") {
+			for _, rs := range res.Results {
+				if rs.Schema != nil {
+					rows = len(rs.Rows)
+				}
+			}
+		}
+	}
+	if rows != 3 {
+		t.Errorf("cumulative context rows = %d, want all 3 inserts", rows)
+	}
+}
+
+// TestRuleOnCompositeOfComposite: event reuse composes (pair, then
+// pair ; e3).
+func TestRuleOnCompositeOfComposite(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	seed := r.eng.NewSession("sharma")
+	if _, err := seed.ExecScript("use sentineldb create table marks (n int null)"); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		"create trigger t_add on stock for insert event addStk as print 'a'",
+		"create trigger t_del on stock for delete event delStk as print 'd'",
+		"create trigger t_mark on marks for insert event marked as print 'm'",
+		"create trigger t_pair event pair = addStk ^ delStk as print 'pair'",
+		"create trigger t_tri event tri = pair ; marked as print 'tri'",
+	} {
+		if _, err := cs.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cs.Exec("insert stock values ('X', 1) delete stock where symbol = 'X' insert marks values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"t_add": false, "t_del": false, "t_mark": false, "t_pair": false, "t_tri": false}
+	for i := 0; i < len(want); i++ {
+		res := waitAction(t, r.agent)
+		short := res.Rule[strings.LastIndex(res.Rule, ".")+1:]
+		want[short] = true
+	}
+	for rule, fired := range want {
+		if !fired {
+			t.Errorf("rule %s never fired", rule)
+		}
+	}
+}
+
+// TestAgentCloseIsClean: Close with in-flight actions does not panic or
+// deadlock.
+func TestAgentCloseIsClean(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	if _, err := cs.Exec("create trigger t on stock for insert event ev as select count(*) from stock"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := cs.Exec("insert stock values ('X', 1)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		r.agent.WaitActions()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitActions hung")
+	}
+}
+
+// TestLEDExposure: the embedded LED is reachable for advanced callers.
+func TestLEDExposure(t *testing.T) {
+	r := newRig(t)
+	if r.agent.LED() == nil {
+		t.Fatal("LED() nil")
+	}
+	cs := r.session(t, "sharma", "sentineldb")
+	if _, err := cs.Exec("create trigger t on stock for insert event ev as print 'x'"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.agent.LED().HasEvent("sentineldb.sharma.ev") {
+		t.Error("event not in LED")
+	}
+	// Go-level rules can piggyback on SQL-defined events.
+	fired := make(chan struct{}, 1)
+	err := r.agent.LED().AddRule(&led.Rule{
+		Name: "go-level", Event: "sentineldb.sharma.ev", Context: led.Recent,
+		Action: func(*led.Occ) {
+			select {
+			case fired <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec("insert stock values ('X', 1)"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("go-level rule never fired")
+	}
+	waitAction(t, r.agent) // drain the SQL rule's report
+}

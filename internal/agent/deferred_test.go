@@ -1,0 +1,52 @@
+package agent
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeferredFlushAtCommit: DEFERRED rules queued during a transaction
+// run when the transaction commits, without an explicit FlushDeferred.
+func TestDeferredFlushAtCommit(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	if _, err := cs.Exec("create trigger t on stock for insert event ev DEFERRED as print 'deferred at commit'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec("begin tran insert stock values ('X', 1)"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-r.agent.ActionDone:
+		t.Fatalf("deferred rule ran before commit: %+v", res)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := cs.Exec("commit"); err != nil {
+		t.Fatal(err)
+	}
+	res := waitAction(t, r.agent)
+	if len(res.Messages) != 1 || res.Messages[0] != "deferred at commit" {
+		t.Errorf("deferred-at-commit: %+v", res)
+	}
+}
+
+// TestDeferredNotFlushedByOtherBatches: ordinary batches without COMMIT
+// leave the deferred queue alone.
+func TestDeferredNotFlushedByOtherBatches(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+	if _, err := cs.Exec("create trigger t on stock for insert event ev DEFERRED as print 'x'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec("insert stock values ('X', 1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec("select count(*) from stock"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.agent.LED().DeferredCount(); got != 1 {
+		t.Fatalf("deferred queue after plain select: %d", got)
+	}
+	r.agent.FlushDeferred()
+	waitAction(t, r.agent)
+}

@@ -1,0 +1,83 @@
+package agent
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Name expansion (§5.1 of the paper). A user-assigned object name is
+// rewritten to the system-wide internal name
+//
+//	DatabaseName.userName.objectName
+//
+// which is unique across users and databases and consistent with how the
+// original server expands object names.
+
+// expandName turns a possibly-qualified name (parts from right to left:
+// object, owner, database) into the canonical three-part internal name for
+// a session in database db running as user.
+func expandName(db, user string, parts []string) (string, error) {
+	var objDB, owner, obj string
+	switch len(parts) {
+	case 1:
+		obj = parts[0]
+	case 2:
+		owner, obj = parts[0], parts[1]
+	case 3:
+		objDB, owner, obj = parts[0], parts[1], parts[2]
+	default:
+		return "", fmt.Errorf("agent: name has %d components", len(parts))
+	}
+	if obj == "" {
+		return "", fmt.Errorf("agent: empty object name")
+	}
+	if objDB == "" {
+		objDB = db
+	}
+	if owner == "" {
+		owner = user
+	}
+	if objDB == "" || owner == "" {
+		return "", fmt.Errorf("agent: cannot expand %q without a database and user", strings.Join(parts, "."))
+	}
+	return objDB + "." + owner + "." + obj, nil
+}
+
+// expandEventName expands an event name that may already be dotted
+// ("addStk" or "sentineldb.sharma.addStk").
+func expandEventName(db, user, name string) (string, error) {
+	parts := strings.Split(name, ".")
+	if len(parts) == 3 {
+		return name, nil
+	}
+	if len(parts) != 1 {
+		return "", fmt.Errorf("agent: event name %q must have 1 or 3 components", name)
+	}
+	return expandName(db, user, parts)
+}
+
+// splitInternal breaks an internal db.user.object name back apart.
+func splitInternal(name string) (db, user, obj string, err error) {
+	parts := strings.Split(name, ".")
+	if len(parts) != 3 {
+		return "", "", "", fmt.Errorf("agent: %q is not an internal name", name)
+	}
+	return parts[0], parts[1], parts[2], nil
+}
+
+// Derived object names. The paper derives shadow tables
+// (tablename_inserted / tablename_deleted, §5.2), per-trigger action
+// procedures (<trigger>__Proc, Figure 11), and per-table context
+// materialization tables (<table>_inserted_tmp, Figure 14).
+
+func shadowTableName(internalTable, op string) string {
+	return internalTable + "_" + op
+}
+
+func actionProcName(internalTrigger string) string {
+	return internalTrigger + "__Proc"
+}
+
+func tmpTableName(internalTable, op string) string {
+	return internalTable + "_" + op + "_tmp"
+}

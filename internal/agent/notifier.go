@@ -1,0 +1,62 @@
+package agent
+
+import (
+	"net"
+	"strings"
+	"sync"
+)
+
+// notifier implements the Event Notifier (Figure 15): a lightweight
+// listener thread that receives UDP notifications emitted by the generated
+// triggers' syb_sendmsg calls, decodes them, and signals the LED.
+type notifier struct {
+	agent *Agent
+	conn  *net.UDPConn
+	wg    sync.WaitGroup
+}
+
+// startNotifier binds the UDP listener ("127.0.0.1:0" picks an ephemeral
+// port, which the code generator then embeds into every trigger).
+func startNotifier(a *Agent, addr string) (*notifier, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	n := &notifier{agent: a, conn: conn}
+	n.wg.Add(1)
+	go n.listen()
+	return n, nil
+}
+
+// listen is the Notification Listener loop of Figure 15.
+func (n *notifier) listen() {
+	defer n.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // listener closed
+		}
+		msg := string(buf[:sz])
+		n.agent.Deliver(msg)
+	}
+}
+
+func (n *notifier) close() {
+	n.conn.Close()
+	n.wg.Wait()
+}
+
+// addr returns the bound UDP host and port.
+func (n *notifier) addr() (string, int) {
+	a := n.conn.LocalAddr().(*net.UDPAddr)
+	host := a.IP.String()
+	if strings.Contains(host, ":") { // IPv6 loopback
+		host = "127.0.0.1"
+	}
+	return host, a.Port
+}

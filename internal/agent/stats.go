@@ -1,0 +1,45 @@
+package agent
+
+import "sync/atomic"
+
+// Stats is a snapshot of the agent's operational counters, the kind of
+// observability a production mediator needs (the paper's §6 efficiency
+// discussion motivates measuring exactly these paths).
+type Stats struct {
+	// NotificationsReceived counts datagrams delivered to the Event
+	// Notifier (UDP or in-process).
+	NotificationsReceived uint64
+	// NotificationsDropped counts malformed datagrams discarded.
+	NotificationsDropped uint64
+	// ECACommands counts CREATE/DROP trigger commands the Language Filter
+	// intercepted.
+	ECACommands uint64
+	// PassThroughBatches counts batches forwarded to the server untouched.
+	PassThroughBatches uint64
+	// ActionsRun counts completed rule actions.
+	ActionsRun uint64
+	// ActionsFailed counts rule actions whose procedure returned an error.
+	ActionsFailed uint64
+}
+
+// counters holds the live atomic counters.
+type counters struct {
+	notifReceived atomic.Uint64
+	notifDropped  atomic.Uint64
+	ecaCommands   atomic.Uint64
+	passThrough   atomic.Uint64
+	actionsRun    atomic.Uint64
+	actionsFailed atomic.Uint64
+}
+
+// Stats returns a consistent-enough snapshot of the counters.
+func (a *Agent) Stats() Stats {
+	return Stats{
+		NotificationsReceived: a.ctr.notifReceived.Load(),
+		NotificationsDropped:  a.ctr.notifDropped.Load(),
+		ECACommands:           a.ctr.ecaCommands.Load(),
+		PassThroughBatches:    a.ctr.passThrough.Load(),
+		ActionsRun:            a.ctr.actionsRun.Load(),
+		ActionsFailed:         a.ctr.actionsFailed.Load(),
+	}
+}

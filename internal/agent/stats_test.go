@@ -1,0 +1,60 @@
+package agent
+
+import "testing"
+
+func TestStatsCounters(t *testing.T) {
+	r := newRig(t)
+	cs := r.session(t, "sharma", "sentineldb")
+
+	if s := r.agent.Stats(); s != (Stats{}) {
+		t.Fatalf("fresh agent has non-zero stats: %+v", s)
+	}
+
+	if _, err := cs.Exec("create trigger t on stock for insert event ev as print 'x'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec("insert stock values ('A', 1)"); err != nil {
+		t.Fatal(err)
+	}
+	waitAction(t, r.agent)
+	r.agent.Deliver("garbage datagram")
+
+	s := r.agent.Stats()
+	if s.ECACommands != 1 {
+		t.Errorf("ECACommands = %d", s.ECACommands)
+	}
+	if s.PassThroughBatches != 1 {
+		t.Errorf("PassThroughBatches = %d", s.PassThroughBatches)
+	}
+	if s.NotificationsReceived != 2 { // one real, one garbage
+		t.Errorf("NotificationsReceived = %d", s.NotificationsReceived)
+	}
+	if s.NotificationsDropped != 1 {
+		t.Errorf("NotificationsDropped = %d", s.NotificationsDropped)
+	}
+	if s.ActionsRun != 1 || s.ActionsFailed != 0 {
+		t.Errorf("actions: %+v", s)
+	}
+
+	// A failing action increments ActionsFailed.
+	if _, err := cs.Exec("create trigger t2 event ev as select * from nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec("insert stock values ('B', 2)"); err != nil {
+		t.Fatal(err)
+	}
+	waitAction(t, r.agent) // t
+	waitAction(t, r.agent) // t2 (failed)
+	s = r.agent.Stats()
+	if s.ActionsRun != 3 || s.ActionsFailed != 1 {
+		t.Errorf("after failure: %+v", s)
+	}
+
+	// Drops count as ECA commands too.
+	if _, err := cs.Exec("drop trigger t2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.agent.Stats().ECACommands; got != 3 {
+		t.Errorf("ECACommands after drop = %d", got)
+	}
+}

@@ -1,0 +1,126 @@
+// Package agent implements the ECA Agent: the mediator of the paper that
+// sits between clients and the SQL server and turns it into a full active
+// database system. It contains the seven modules of Figure 2 — General
+// Interface (gateway), Language Filter, ECA Parser, Local Event Detector
+// (embedded from internal/led), Persistent Manager, Event Notifier and
+// Action Handler.
+package agent
+
+import "fmt"
+
+// System table names (Figures 5, 6, 7 and 17 of the paper). The tables are
+// created in every user database that defines ECA rules, plus a registry in
+// master that records which databases hold ECA state so recovery can find
+// them.
+const (
+	TabPrimitiveEvent = "SysPrimitiveEvent"
+	TabCompositeEvent = "SysCompositeEvent"
+	TabEcaTrigger     = "SysEcaTrigger"
+	TabContext        = "sysContext"
+	// TabRegistry lives in master and lists ECA-enabled databases.
+	TabRegistry = "SysEcaDatabases"
+)
+
+// SysTableDDL holds the CREATE TABLE statement for each agent system
+// table, keyed by table name. SysEcaTrigger carries three columns beyond
+// Figure 7 (coupling, context, priority) because this reproduction routes
+// primitive-event rules through the LED as well, so every trigger needs its
+// own context — the deviation is recorded in EXPERIMENTS.md.
+var SysTableDDL = map[string]string{
+	TabPrimitiveEvent: `create table SysPrimitiveEvent (
+		dbName varchar(30) null,
+		userName varchar(30) null,
+		eventName varchar(100) null,
+		tableName varchar(100) null,
+		operation varchar(20) null,
+		timeStamp datetime null,
+		vNo int null)`,
+	TabCompositeEvent: `create table SysCompositeEvent (
+		dbName varchar(30) null,
+		userName varchar(30) null,
+		eventName varchar(100) null,
+		eventDescribe text null,
+		timeStamp datetime null,
+		coupling char(10) null,
+		context char(10) null,
+		priority char(10) null)`,
+	TabEcaTrigger: `create table SysEcaTrigger (
+		dbName varchar(30) null,
+		userName varchar(30) null,
+		triggerName varchar(100) null,
+		triggerProc text null,
+		timeStamp datetime null,
+		eventName varchar(100) null,
+		coupling char(10) null,
+		context char(10) null,
+		priority int null)`,
+	TabContext: `create table sysContext (
+		tableName varchar(100) not null,
+		context varchar(12) not null,
+		vNo int not null)`,
+}
+
+// registryDDL creates the master-database registry.
+const registryDDL = `create table SysEcaDatabases (dbName varchar(30) not null)`
+
+// Figure schemas as printed in the paper, used by the figure-regeneration
+// harness (ecabench) to reproduce Figures 5, 6, 7 and 17 row-for-row.
+type figColumn struct {
+	Name   string
+	Type   string
+	Length int
+	Nulls  string
+}
+
+var figureSchemas = map[string][]figColumn{
+	TabPrimitiveEvent: {
+		{"dbName", "varchar", 30, "NULL"},
+		{"userName", "varchar", 30, "NULL"},
+		{"eventName", "varchar", 30, "NULL"},
+		{"tableName", "varchar", 30, "NULL"},
+		{"operation", "varchar", 20, "NULL"},
+		{"timeStamp", "datetime", 8, "NULL"},
+		{"vNo", "int", 4, "NULL"},
+	},
+	TabCompositeEvent: {
+		{"dbName", "varchar", 30, "NULL"},
+		{"userName", "varchar", 30, "NULL"},
+		{"eventName", "varchar", 30, "NULL"},
+		{"eventDescribe", "text", 0, "NULL"},
+		{"timeStamp", "datetime", 8, "NULL"},
+		{"coupling", "char", 10, "NULL"},
+		{"context", "char", 10, "NULL"},
+		{"priority", "char", 10, "NULL"},
+	},
+	TabEcaTrigger: {
+		{"dbName", "varchar", 30, "NULL"},
+		{"userName", "varchar", 30, "NULL"},
+		{"triggerName", "varchar", 30, "NULL"},
+		{"triggerProc", "text", 0, "NULL"},
+		{"timeStamp", "datetime", 8, "NULL"},
+		{"eventName", "varchar", 30, "NULL"},
+	},
+	TabContext: {
+		{"tableName", "varchar", 50, "not null"},
+		{"context", "varchar", 12, "not null"},
+		{"vNo", "int", 4, "not null"},
+	},
+}
+
+// FigureSchema renders one of the paper's system-table schema figures
+// (5, 6, 7 or 17) as the aligned table the report prints.
+func FigureSchema(table string) (string, error) {
+	cols, ok := figureSchemas[table]
+	if !ok {
+		return "", fmt.Errorf("agent: no figure schema for %q", table)
+	}
+	out := fmt.Sprintf("%-14s %-9s %-7s %s\n", "Column_name", "Type", "Length", "Nulls")
+	for _, c := range cols {
+		length := "text"
+		if c.Length > 0 {
+			length = fmt.Sprintf("%d", c.Length)
+		}
+		out += fmt.Sprintf("%-14s %-9s %-7s %s\n", c.Name, c.Type, length, c.Nulls)
+	}
+	return out, nil
+}

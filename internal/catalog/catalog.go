@@ -1,0 +1,332 @@
+// Package catalog implements the system catalog of the SQL server
+// substrate: databases, owned tables, stored procedures, and native
+// triggers, with Sybase-style name resolution (db.owner.object) and
+// whole-database snapshot persistence.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/activedb/ecaagent/internal/sqlparse"
+	"github.com/activedb/ecaagent/internal/sqltypes"
+	"github.com/activedb/ecaagent/internal/storage"
+)
+
+// DefaultOwner is the database-owner account objects fall back to when the
+// creating session did not specify one, mirroring "dbo".
+const DefaultOwner = "dbo"
+
+// Procedure is a stored procedure definition.
+type Procedure struct {
+	Name   string // unqualified
+	Owner  string
+	Params []sqlparse.ProcParam
+	Body   []sqlparse.Statement
+	// RawSQL is the complete CREATE PROCEDURE text, kept for persistence
+	// and for sp_helptext-style introspection.
+	RawSQL string
+}
+
+// Trigger is a native trigger definition. As in the original server there
+// is at most one trigger per (table, operation); creating another silently
+// overwrites it (one of the limitations in §2.2 of the paper that the ECA
+// agent exists to lift).
+type Trigger struct {
+	Name      string // unqualified
+	Owner     string
+	Table     string // unqualified table name (same owner as the trigger)
+	Operation sqlparse.TriggerOp
+	Body      []sqlparse.Statement
+	RawSQL    string
+}
+
+type object struct {
+	owner string
+	name  string
+}
+
+func key(owner, name string) object {
+	return object{owner: strings.ToLower(owner), name: strings.ToLower(name)}
+}
+
+// Database holds one database's objects.
+type Database struct {
+	mu       sync.RWMutex
+	name     string
+	tables   map[object]*storage.Table
+	owners   map[object]string // preserves original owner spelling
+	procs    map[object]*Procedure
+	triggers map[object]*Trigger
+	// trigByTable indexes triggers by (table key, operation).
+	trigByTable map[object]map[sqlparse.TriggerOp]*Trigger
+}
+
+func newDatabase(name string) *Database {
+	return &Database{
+		name:        name,
+		tables:      make(map[object]*storage.Table),
+		owners:      make(map[object]string),
+		procs:       make(map[object]*Procedure),
+		triggers:    make(map[object]*Trigger),
+		trigByTable: make(map[object]map[sqlparse.TriggerOp]*Trigger),
+	}
+}
+
+// Name returns the database name.
+func (d *Database) Name() string { return d.name }
+
+// resolve finds an object key given an optional owner and a resolver user.
+// Resolution order matches the server: exact owner if specified; else the
+// session user's object, then dbo's, then a unique match across owners.
+func resolve[T any](d *Database, m map[object]T, owner, name, user string) (object, bool) {
+	if owner != "" {
+		k := key(owner, name)
+		_, ok := m[k]
+		return k, ok
+	}
+	if user != "" {
+		k := key(user, name)
+		if _, ok := m[k]; ok {
+			return k, true
+		}
+	}
+	k := key(DefaultOwner, name)
+	if _, ok := m[k]; ok {
+		return k, true
+	}
+	var found object
+	n := 0
+	lname := strings.ToLower(name)
+	for ko := range m {
+		if ko.name == lname {
+			found = ko
+			n++
+		}
+	}
+	if n == 1 {
+		return found, true
+	}
+	return object{}, false
+}
+
+// CreateTable registers a table. It fails if the (owner, name) pair exists.
+func (d *Database) CreateTable(owner, name string, schema *sqltypes.Schema) (*storage.Table, error) {
+	if owner == "" {
+		owner = DefaultOwner
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := key(owner, name)
+	if _, ok := d.tables[k]; ok {
+		return nil, fmt.Errorf("table %s.%s already exists in %s", owner, name, d.name)
+	}
+	t := storage.NewTable(schema)
+	d.tables[k] = t
+	d.owners[k] = owner
+	return t, nil
+}
+
+// Table resolves a table reference for the given session user.
+func (d *Database) Table(owner, name, user string) (*storage.Table, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	k, ok := resolve(d, d.tables, owner, name, user)
+	if !ok {
+		return nil, fmt.Errorf("table %s not found in %s", displayName(owner, name), d.name)
+	}
+	return d.tables[k], nil
+}
+
+// DropTable removes a table and any triggers defined on it.
+func (d *Database) DropTable(owner, name, user string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k, ok := resolve(d, d.tables, owner, name, user)
+	if !ok {
+		return fmt.Errorf("table %s not found in %s", displayName(owner, name), d.name)
+	}
+	delete(d.tables, k)
+	delete(d.owners, k)
+	if ops, ok := d.trigByTable[k]; ok {
+		for _, tr := range ops {
+			delete(d.triggers, key(tr.Owner, tr.Name))
+		}
+		delete(d.trigByTable, k)
+	}
+	return nil
+}
+
+// TableNames lists tables as owner.name pairs, sorted by map order (callers
+// sort if they need determinism).
+func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for k := range d.tables {
+		out = append(out, d.owners[k]+"."+k.name)
+	}
+	return out
+}
+
+// CreateProcedure registers a stored procedure. Duplicate names fail, as in
+// the server.
+func (d *Database) CreateProcedure(p *Procedure) error {
+	if p.Owner == "" {
+		p.Owner = DefaultOwner
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := key(p.Owner, p.Name)
+	if _, ok := d.procs[k]; ok {
+		return fmt.Errorf("procedure %s.%s already exists in %s", p.Owner, p.Name, d.name)
+	}
+	d.procs[k] = p
+	return nil
+}
+
+// Procedure resolves a procedure reference.
+func (d *Database) Procedure(owner, name, user string) (*Procedure, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	k, ok := resolve(d, d.procs, owner, name, user)
+	if !ok {
+		return nil, fmt.Errorf("procedure %s not found in %s", displayName(owner, name), d.name)
+	}
+	return d.procs[k], nil
+}
+
+// DropProcedure removes a stored procedure.
+func (d *Database) DropProcedure(owner, name, user string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k, ok := resolve(d, d.procs, owner, name, user)
+	if !ok {
+		return fmt.Errorf("procedure %s not found in %s", displayName(owner, name), d.name)
+	}
+	delete(d.procs, k)
+	return nil
+}
+
+// CreateTrigger registers a native trigger. Faithful to the original
+// server's documented limitation, a new trigger for the same (table,
+// operation) silently replaces the existing one and no warning is given.
+func (d *Database) CreateTrigger(tr *Trigger, user string) error {
+	if tr.Owner == "" {
+		tr.Owner = DefaultOwner
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tk, ok := resolve(d, d.tables, "", tr.Table, user)
+	if !ok {
+		return fmt.Errorf("table %s not found in %s", tr.Table, d.name)
+	}
+	ops := d.trigByTable[tk]
+	if ops == nil {
+		ops = make(map[sqlparse.TriggerOp]*Trigger)
+		d.trigByTable[tk] = ops
+	}
+	if prev, exists := ops[tr.Operation]; exists {
+		delete(d.triggers, key(prev.Owner, prev.Name))
+	}
+	ops[tr.Operation] = tr
+	d.triggers[key(tr.Owner, tr.Name)] = tr
+	return nil
+}
+
+// TriggerFor returns the trigger on (table, op), if any.
+func (d *Database) TriggerFor(tableOwner, table, user string, op sqlparse.TriggerOp) (*Trigger, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	tk, ok := resolve(d, d.tables, tableOwner, table, user)
+	if !ok {
+		return nil, false
+	}
+	tr, ok := d.trigByTable[tk][op]
+	return tr, ok
+}
+
+// Trigger resolves a trigger by name.
+func (d *Database) Trigger(owner, name, user string) (*Trigger, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	k, ok := resolve(d, d.triggers, owner, name, user)
+	if !ok {
+		return nil, fmt.Errorf("trigger %s not found in %s", displayName(owner, name), d.name)
+	}
+	return d.triggers[k], nil
+}
+
+// DropTrigger removes a trigger by name.
+func (d *Database) DropTrigger(owner, name, user string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k, ok := resolve(d, d.triggers, owner, name, user)
+	if !ok {
+		return fmt.Errorf("trigger %s not found in %s", displayName(owner, name), d.name)
+	}
+	tr := d.triggers[k]
+	delete(d.triggers, k)
+	if tk, ok := resolve(d, d.tables, "", tr.Table, user); ok {
+		if ops := d.trigByTable[tk]; ops != nil && ops[tr.Operation] == tr {
+			delete(ops, tr.Operation)
+		}
+	}
+	return nil
+}
+
+func displayName(owner, name string) string {
+	if owner == "" {
+		return name
+	}
+	return owner + "." + name
+}
+
+// Catalog is the root of the metadata tree: a set of databases.
+type Catalog struct {
+	mu  sync.RWMutex
+	dbs map[string]*Database
+}
+
+// New returns a catalog containing only the "master" database.
+func New() *Catalog {
+	c := &Catalog{dbs: make(map[string]*Database)}
+	c.dbs["master"] = newDatabase("master")
+	return c
+}
+
+// CreateDatabase adds a database.
+func (c *Catalog) CreateDatabase(name string) (*Database, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ln := strings.ToLower(name)
+	if _, ok := c.dbs[ln]; ok {
+		return nil, fmt.Errorf("database %s already exists", name)
+	}
+	db := newDatabase(name)
+	c.dbs[ln] = db
+	return db, nil
+}
+
+// Database looks up a database by name.
+func (c *Catalog) Database(name string) (*Database, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	db, ok := c.dbs[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("database %s does not exist", name)
+	}
+	return db, nil
+}
+
+// DatabaseNames lists all databases.
+func (c *Catalog) DatabaseNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.dbs))
+	for n := range c.dbs {
+		out = append(out, n)
+	}
+	return out
+}

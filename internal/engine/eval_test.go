@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestRuntimeNotAndNegation(t *testing.T) {
+	s, _ := newTestSession(t)
+	mustExec(t, s, "create table t (a int null)")
+	mustExec(t, s, "insert t values (1) insert t values (2) insert t values (null)")
+	rows := lastRows(mustExec(t, s, "select a from t where not a = 1"))
+	if len(rows) != 1 || rows[0][0].Int() != 2 {
+		t.Errorf("NOT comparison: %v", rows)
+	}
+	rows = lastRows(mustExec(t, s, "select -a from t where a = 2"))
+	if rows[0][0].Int() != -2 {
+		t.Errorf("unary minus on column: %v", rows)
+	}
+	rows = lastRows(mustExec(t, s, "select a from t where not (a is null)"))
+	if len(rows) != 2 {
+		t.Errorf("NOT over IS NULL: %v", rows)
+	}
+	// NOT of unknown stays unknown: no rows where NOT(NULL = 1).
+	rows = lastRows(mustExec(t, s, "select a from t where a is null and not a = 1"))
+	if len(rows) != 0 {
+		t.Errorf("NOT unknown leaked rows: %v", rows)
+	}
+	// Unary minus on float and on NULL.
+	rows = lastRows(mustExec(t, s, "select -2.5, -(a - a) from t where a = 1"))
+	if rows[0][0].Float() != -2.5 || rows[0][1].Int() != 0 {
+		t.Errorf("unary minus forms: %v", rows)
+	}
+	if _, err := s.ExecScript("select -'abc'"); err == nil {
+		t.Error("negating a string succeeded")
+	}
+}
+
+func TestSessionAccessors(t *testing.T) {
+	s, _ := newTestSession(t)
+	if s.User() != "sharma" || s.DatabaseName() != "db" {
+		t.Errorf("accessors: %q %q", s.User(), s.DatabaseName())
+	}
+	if s.eng.Catalog() == nil {
+		t.Error("Catalog() nil")
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	s, _ := newTestSession(t)
+	mustExec(t, s, "create table t (a int null)")
+	mustExec(t, s, "insert t values (1) insert t values (2)")
+	rows := lastRows(mustExec(t, s, "select sum(a) from t having count(*) > 1"))
+	if len(rows) != 1 || rows[0][0].Int() != 3 {
+		t.Errorf("having over global aggregate: %v", rows)
+	}
+	rows = lastRows(mustExec(t, s, "select sum(a) from t having count(*) > 5"))
+	if len(rows) != 0 {
+		t.Errorf("failing having kept row: %v", rows)
+	}
+}
+
+func TestUnaryInAggregateAndNestedFunc(t *testing.T) {
+	s, _ := newTestSession(t)
+	mustExec(t, s, "create table t (a int null)")
+	mustExec(t, s, "insert t values (1) insert t values (2)")
+	rows := lastRows(mustExec(t, s, "select -sum(a), abs(-sum(a)) from t"))
+	if rows[0][0].Int() != -3 || rows[0][1].Int() != 3 {
+		t.Errorf("aggregate in expressions: %v", rows)
+	}
+}
+
+func TestFromLessSelectRejectsClauses(t *testing.T) {
+	s, _ := newTestSession(t)
+	for _, bad := range []string{
+		"select 1 where 1 = 1",
+		"select 1 order by col1",
+	} {
+		if _, err := s.ExecScript(bad); err == nil {
+			t.Errorf("%q succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpHelpListsTables(t *testing.T) {
+	s, _ := newTestSession(t)
+	mustExec(t, s, "create table stock (symbol varchar(10), price float null)")
+	mustExec(t, s, "create table trades (id int null)")
+	rows := lastRows(mustExec(t, s, "execute sp_help"))
+	if len(rows) != 2 {
+		t.Fatalf("sp_help rows: %v", rows)
+	}
+	names := []string{rows[0][0].Str(), rows[1][0].Str()}
+	if names[0] != "sharma.stock" || names[1] != "sharma.trades" {
+		t.Errorf("sp_help names: %v", names)
+	}
+}
+
+func TestSpHelpDescribesTable(t *testing.T) {
+	s, _ := newTestSession(t)
+	mustExec(t, s, "create table stock (symbol varchar(10) not null, price float null)")
+	rows := lastRows(mustExec(t, s, "exec sp_help stock"))
+	if len(rows) != 2 {
+		t.Fatalf("describe rows: %v", rows)
+	}
+	if rows[0][0].Str() != "symbol" || rows[0][1].Str() != "varchar" ||
+		rows[0][2].Int() != 10 || rows[0][3].Str() != "not null" {
+		t.Errorf("column row: %v", rows[0])
+	}
+	if rows[1][3].Str() != "NULL" {
+		t.Errorf("nullable display: %v", rows[1])
+	}
+	// Quoted form also accepted.
+	rows = lastRows(mustExec(t, s, "exec sp_help 'stock'"))
+	if len(rows) != 2 {
+		t.Errorf("quoted arg: %v", rows)
+	}
+	if _, err := s.ExecScript("exec sp_help ghost"); err == nil {
+		t.Error("sp_help on missing table succeeded")
+	}
+}
+
+func TestSpHelpText(t *testing.T) {
+	s, _ := newTestSession(t)
+	mustExec(t, s, "create table t (a int null)")
+	mustExec(t, s, "create procedure p_x as print 'hello'")
+	mustExec(t, s, "create trigger tg on t for insert as print 'fired'")
+	rs := mustExec(t, s, "exec sp_helptext p_x")
+	msgs := allMessages(rs)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "create procedure") {
+		t.Errorf("proc text: %v", msgs)
+	}
+	rs = mustExec(t, s, "exec sp_helptext tg")
+	msgs = allMessages(rs)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "create trigger") {
+		t.Errorf("trigger text: %v", msgs)
+	}
+	if _, err := s.ExecScript("exec sp_helptext ghost"); err == nil {
+		t.Error("sp_helptext on missing object succeeded")
+	}
+	if _, err := s.ExecScript("exec sp_helptext"); err == nil {
+		t.Error("sp_helptext without argument succeeded")
+	}
+}
+
+func TestSpHelpDB(t *testing.T) {
+	s, _ := newTestSession(t)
+	rows := lastRows(mustExec(t, s, "exec sp_helpdb"))
+	var names []string
+	for _, r := range rows {
+		names = append(names, r[0].Str())
+	}
+	if len(names) != 2 || names[0] != "db" || names[1] != "master" {
+		t.Errorf("databases: %v", names)
+	}
+}
+
+func TestSystemProcArgValidation(t *testing.T) {
+	s, _ := newTestSession(t)
+	if _, err := s.ExecScript("exec sp_help a, b"); err == nil {
+		t.Error("two args accepted")
+	}
+	// A user procedure can shadow nothing: qualified names bypass the
+	// builtin dispatch.
+	if _, err := s.ExecScript("exec db.sharma.sp_help"); err == nil {
+		t.Error("qualified sp_help should resolve as user proc and fail")
+	}
+}

@@ -1,0 +1,113 @@
+package led
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ManualClock is a deterministic Clock for tests and reproducible
+// benchmarks: time only moves when Advance is called, and due timers fire
+// synchronously, in timestamp order, before Advance returns.
+type ManualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+	nextID int
+}
+
+type manualTimer struct {
+	id      int
+	at      time.Time
+	f       func()
+	stopped bool
+}
+
+// NewManualClock returns a clock frozen at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc schedules f at now+d.
+func (c *ManualClock) AfterFunc(d time.Duration, f func()) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTimer{id: c.nextID, at: c.now.Add(d), f: f}
+	c.nextID++
+	c.timers = append(c.timers, t)
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		t.stopped = true
+	}
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached, in deadline order. Timers scheduled by fired callbacks are
+// honoured within the same Advance when they fall inside the window.
+// Advance must not be called from inside a timer callback.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		next := c.dueTimerLocked(target)
+		if next == nil {
+			break
+		}
+		if next.at.After(c.now) {
+			c.now = next.at
+		}
+		f := next.f
+		c.mu.Unlock()
+		f() // fire outside the clock lock: callbacks may schedule timers
+		c.mu.Lock()
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+// dueTimerLocked pops the earliest unstopped timer at or before target.
+func (c *ManualClock) dueTimerLocked(target time.Time) *manualTimer {
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.stopped {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+	if len(c.timers) == 0 {
+		return nil
+	}
+	sort.SliceStable(c.timers, func(i, j int) bool {
+		if c.timers[i].at.Equal(c.timers[j].at) {
+			return c.timers[i].id < c.timers[j].id
+		}
+		return c.timers[i].at.Before(c.timers[j].at)
+	})
+	if c.timers[0].at.After(target) {
+		return nil
+	}
+	t := c.timers[0]
+	c.timers = c.timers[1:]
+	return t
+}
+
+// PendingTimers reports how many unstopped timers are armed.
+func (c *ManualClock) PendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}

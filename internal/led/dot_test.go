@@ -1,0 +1,53 @@
+package led
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotExport(t *testing.T) {
+	h := newHarness(t, "e1", "e2", "e3")
+	defComposite(t, h, "pair", "e1 ^ e2")
+	defComposite(t, h, "tri", "pair ; e3")
+	if err := h.led.AddRule(&Rule{
+		Name: "r1", Event: "tri", Context: Cumulative, Coupling: Deferred, Priority: 7,
+		Action: func(*Occ) {},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dot := h.led.Dot()
+	for _, want := range []string{
+		"digraph eventgraph",
+		`ne1 [shape=box`,
+		`npair [shape=ellipse`,
+		`= (e1 ^ e2)`,
+		"ne1 -> npair;",
+		"ne2 -> npair;",
+		"npair -> ntri;",
+		"ne3 -> ntri;",
+		"nrule_r1 [shape=note",
+		"DEFERRED, CUMULATIVE, prio 7",
+		"ntri -> nrule_r1 [style=dashed];",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot() missing %q in:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDotEmptyGraph(t *testing.T) {
+	l := New(nil)
+	dot := l.Dot()
+	if !strings.HasPrefix(dot, "digraph") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Errorf("empty graph: %q", dot)
+	}
+}
+
+func TestDotIDSanitization(t *testing.T) {
+	if got := dotID("sentineldb.sharma.addStk"); strings.ContainsAny(got, ".") {
+		t.Errorf("unsanitized id: %q", got)
+	}
+	if dotQ(`a"b`) != `"a\"b"` {
+		t.Errorf("quote escaping: %q", dotQ(`a"b`))
+	}
+}

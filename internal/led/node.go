@@ -1,0 +1,642 @@
+package led
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/snoop"
+)
+
+// kind enumerates node kinds in the event graph.
+type kind int
+
+const (
+	kPrimitive kind = iota
+	kOr
+	kAnd
+	kSeq
+	kNot
+	kAper     // A
+	kAperStar // A*
+	kPer      // P
+	kPerStar  // P*
+	kPlus
+	kTemporal
+)
+
+// sub is one subscription to a node's occurrences in one context. rule is
+// set for rule subscriptions so DropRule can remove them; parent-operator
+// subscriptions leave it nil.
+type sub struct {
+	ctx  Context
+	fn   func(*Occ)
+	rule *Rule
+}
+
+// node is one vertex of the event graph. All node methods run under the
+// LED mutex.
+type node struct {
+	led      *LED
+	name     string // registered name; "" for anonymous operator nodes
+	kind     kind
+	children []*node
+	expr     snoop.Expr // set on registered composite roots, for refcounts
+
+	dur   time.Duration // kPer, kPerStar, kPlus
+	absAt time.Time     // kTemporal
+
+	subs      []sub
+	activated map[Context]bool
+	state     map[Context]*opState
+	// cancels collects outstanding timer cancellations for shutdown.
+	cancels map[int]func()
+	nextID  int
+}
+
+// opState is the per-context detection state of an operator node.
+type opState struct {
+	left  []*Occ // buffered left/initiator occurrences
+	right []*Occ // buffered right occurrences (AND only)
+	// windows holds open A/A*/P/P* windows.
+	windows []*window
+	// midSeen marks NOT middle-event invalidation.
+	midSeen bool
+}
+
+// window is one open interval for the aperiodic/periodic operators.
+type window struct {
+	start *Occ
+	mids  []*Occ // accumulated middle occurrences (A*) or ticks (P*)
+	// cancel stops the window's periodic timer.
+	cancel func()
+	// seq disambiguates timers across window generations.
+	seq int
+}
+
+// build constructs the (anonymous) graph for an expression. Called under
+// the LED mutex.
+func (l *LED) build(expr snoop.Expr) (*node, error) {
+	switch e := expr.(type) {
+	case *snoop.EventRef:
+		n, ok := l.nodes[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("led: event %q is not defined", e.Name)
+		}
+		// Wrap named nodes in a pass-through so the composite root can be
+		// renamed without renaming the shared constituent.
+		root := &node{led: l, kind: kOr, children: []*node{n}, expr: expr}
+		return root, nil
+	case *snoop.Or:
+		return l.buildBinary(kOr, e.L, e.R, expr)
+	case *snoop.And:
+		return l.buildBinary(kAnd, e.L, e.R, expr)
+	case *snoop.Seq:
+		return l.buildBinary(kSeq, e.L, e.R, expr)
+	case *snoop.Not:
+		return l.buildNary(kNot, []snoop.Expr{e.Start, e.Middle, e.End}, expr, 0, time.Time{})
+	case *snoop.Aperiodic:
+		k := kAper
+		if e.Star {
+			k = kAperStar
+		}
+		return l.buildNary(k, []snoop.Expr{e.Start, e.Mid, e.End}, expr, 0, time.Time{})
+	case *snoop.Periodic:
+		k := kPer
+		if e.Star {
+			k = kPerStar
+		}
+		if e.Period <= 0 {
+			return nil, fmt.Errorf("led: periodic event needs a positive period")
+		}
+		return l.buildNary(k, []snoop.Expr{e.Start, e.End}, expr, e.Period, time.Time{})
+	case *snoop.Plus:
+		if e.Delta < 0 {
+			return nil, fmt.Errorf("led: PLUS needs a non-negative delay")
+		}
+		return l.buildNary(kPlus, []snoop.Expr{e.E}, expr, e.Delta, time.Time{})
+	case *snoop.Temporal:
+		return &node{led: l, kind: kTemporal, absAt: e.At, expr: expr}, nil
+	default:
+		return nil, fmt.Errorf("led: unsupported expression %T", expr)
+	}
+}
+
+func (l *LED) buildBinary(k kind, le, re snoop.Expr, expr snoop.Expr) (*node, error) {
+	ln, err := l.build(le)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := l.build(re)
+	if err != nil {
+		return nil, err
+	}
+	return &node{led: l, kind: k, children: []*node{ln, rn}, expr: expr}, nil
+}
+
+func (l *LED) buildNary(k kind, exprs []snoop.Expr, expr snoop.Expr, d time.Duration, at time.Time) (*node, error) {
+	children := make([]*node, len(exprs))
+	for i, e := range exprs {
+		c, err := l.build(e)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = c
+	}
+	return &node{led: l, kind: k, children: children, expr: expr, dur: d, absAt: at}, nil
+}
+
+// eventName is the name occurrences of this node carry.
+func (n *node) eventName() string {
+	if n.name != "" {
+		return n.name
+	}
+	if n.expr != nil {
+		return n.expr.String()
+	}
+	return "<anonymous>"
+}
+
+// subscribe attaches a context-tagged listener.
+func (n *node) subscribe(ctx Context, fn func(*Occ)) {
+	n.subs = append(n.subs, sub{ctx: ctx, fn: fn})
+}
+
+// subscribeRule attaches a rule's listener; unsubscribeRule removes it.
+func (n *node) subscribeRule(r *Rule, fn func(*Occ)) {
+	n.subs = append(n.subs, sub{ctx: r.Context, fn: fn, rule: r})
+}
+
+func (n *node) unsubscribeRule(r *Rule) {
+	kept := n.subs[:0]
+	for _, s := range n.subs {
+		if s.rule != r {
+			kept = append(kept, s)
+		}
+	}
+	n.subs = kept
+}
+
+// activate enables detection of this node's subtree in the given context.
+// Idempotent.
+func (n *node) activate(ctx Context) {
+	if n.activated == nil {
+		n.activated = make(map[Context]bool)
+	}
+	if n.activated[ctx] {
+		return
+	}
+	n.activated[ctx] = true
+	if n.state == nil {
+		n.state = make(map[Context]*opState)
+	}
+	n.state[ctx] = &opState{}
+	switch n.kind {
+	case kPrimitive:
+		// Primitives are context-free sources.
+	case kTemporal:
+		n.scheduleTemporal(ctx)
+	default:
+		for i, c := range n.children {
+			c.activate(ctx)
+			idx := i
+			c.subscribe(ctx, func(occ *Occ) { n.onChild(ctx, idx, occ) })
+		}
+	}
+}
+
+// shutdown cancels outstanding timers (on DropEvent).
+func (n *node) shutdown() {
+	for _, cancel := range n.cancels {
+		cancel()
+	}
+	n.cancels = nil
+	for _, c := range n.children {
+		if c.name == "" {
+			c.shutdown()
+		}
+	}
+}
+
+// emit delivers an occurrence to this node's subscribers in one context.
+func (n *node) emit(ctx Context, occ *Occ) {
+	occ.Event = n.eventName()
+	occ.Context = ctx
+	for _, s := range n.subs {
+		if s.ctx == ctx {
+			s.fn(occ.clone())
+		}
+	}
+}
+
+// emitPrimitive delivers a primitive occurrence to subscribers of every
+// context (primitive detection is context-free).
+func (n *node) emitPrimitive(occ *Occ) {
+	for _, s := range n.subs {
+		c := occ.clone()
+		c.Context = s.ctx
+		s.fn(c)
+	}
+}
+
+// onChild processes a constituent occurrence under a context. This is
+// where the paper's parameter-context semantics live; the per-context
+// buffer policies follow [CHA94]'s initiator/terminator definitions.
+func (n *node) onChild(ctx Context, idx int, occ *Occ) {
+	st := n.state[ctx]
+	switch n.kind {
+	case kOr:
+		// Any constituent occurrence signals the disjunction.
+		n.emit(ctx, mergeOccs(n.eventName(), ctx, occ))
+
+	case kAnd:
+		n.onAnd(ctx, st, idx, occ)
+
+	case kSeq:
+		n.onSeq(ctx, st, idx, occ)
+
+	case kNot:
+		n.onNot(ctx, st, idx, occ)
+
+	case kAper, kAperStar:
+		n.onAperiodic(ctx, st, idx, occ)
+
+	case kPer, kPerStar:
+		n.onPeriodic(ctx, st, idx, occ)
+
+	case kPlus:
+		n.onPlus(ctx, occ)
+	}
+}
+
+// onAnd implements E1 ^ E2: both constituents, either order.
+func (n *node) onAnd(ctx Context, st *opState, idx int, occ *Occ) {
+	mine, other := &st.left, &st.right
+	if idx == 1 {
+		mine, other = &st.right, &st.left
+	}
+	switch ctx {
+	case Recent:
+		// Latest occurrence of each side; any completion emits. Slots are
+		// not consumed — a newer instance replaces them.
+		*mine = []*Occ{occ}
+		if len(*other) > 0 {
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, (*other)[len(*other)-1], occ))
+		}
+	case Chronicle:
+		// FIFO pairing; both sides consumed.
+		*mine = append(*mine, occ)
+		for len(st.left) > 0 && len(st.right) > 0 {
+			l, r := st.left[0], st.right[0]
+			st.left = st.left[1:]
+			st.right = st.right[1:]
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, l, r))
+		}
+	case Continuous:
+		// Every buffered opposite occurrence is a window the arrival
+		// terminates; all are consumed, the terminator is used by all.
+		if len(*other) > 0 {
+			for _, o := range *other {
+				n.emit(ctx, mergeOccs(n.eventName(), ctx, o, occ))
+			}
+			*other = nil
+			return
+		}
+		*mine = append(*mine, occ)
+	case Cumulative:
+		// Accumulate everything; completion flushes both sides into one
+		// occurrence.
+		*mine = append(*mine, occ)
+		if len(st.left) > 0 && len(st.right) > 0 {
+			parts := append(append([]*Occ{}, st.left...), st.right...)
+			st.left, st.right = nil, nil
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, parts...))
+		}
+	}
+}
+
+// onSeq implements E1 ; E2: initiator strictly before terminator.
+func (n *node) onSeq(ctx Context, st *opState, idx int, occ *Occ) {
+	if idx == 0 { // initiator
+		switch ctx {
+		case Recent:
+			st.left = []*Occ{occ}
+		default:
+			st.left = append(st.left, occ)
+		}
+		return
+	}
+	// Terminator: must strictly follow the initiator.
+	eligible := st.left[:0:0]
+	for _, l := range st.left {
+		if l.At.Before(occ.At) {
+			eligible = append(eligible, l)
+		}
+	}
+	if len(eligible) == 0 {
+		return
+	}
+	switch ctx {
+	case Recent:
+		n.emit(ctx, mergeOccs(n.eventName(), ctx, eligible[len(eligible)-1], occ))
+	case Chronicle:
+		oldest := eligible[0]
+		n.emit(ctx, mergeOccs(n.eventName(), ctx, oldest, occ))
+		n.removeLeft(st, oldest)
+	case Continuous:
+		for _, l := range eligible {
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, l, occ))
+			n.removeLeft(st, l)
+		}
+	case Cumulative:
+		parts := append(append([]*Occ{}, eligible...), occ)
+		for _, l := range eligible {
+			n.removeLeft(st, l)
+		}
+		n.emit(ctx, mergeOccs(n.eventName(), ctx, parts...))
+	}
+}
+
+func (n *node) removeLeft(st *opState, target *Occ) {
+	for i, l := range st.left {
+		if l == target {
+			st.left = append(st.left[:i], st.left[i+1:]...)
+			return
+		}
+	}
+}
+
+// onNot implements NOT(S, M, E): E with no M since the initiating S.
+func (n *node) onNot(ctx Context, st *opState, idx int, occ *Occ) {
+	switch idx {
+	case 0: // initiator S
+		switch ctx {
+		case Recent:
+			st.left = []*Occ{occ}
+		default:
+			st.left = append(st.left, occ)
+		}
+	case 1: // middle M invalidates every open window
+		st.left = nil
+	case 2: // terminator E
+		if len(st.left) == 0 {
+			return
+		}
+		switch ctx {
+		case Recent:
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, st.left[len(st.left)-1], occ))
+		case Chronicle:
+			oldest := st.left[0]
+			st.left = st.left[1:]
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, oldest, occ))
+		case Continuous:
+			for _, l := range st.left {
+				n.emit(ctx, mergeOccs(n.eventName(), ctx, l, occ))
+			}
+			st.left = nil
+		case Cumulative:
+			parts := append(append([]*Occ{}, st.left...), occ)
+			st.left = nil
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, parts...))
+		}
+	}
+}
+
+// onAperiodic implements A(S, M, E) and the cumulative A*(S, M, E).
+func (n *node) onAperiodic(ctx Context, st *opState, idx int, occ *Occ) {
+	star := n.kind == kAperStar
+	switch idx {
+	case 0: // window opens
+		w := &window{start: occ}
+		if ctx == Recent {
+			st.windows = []*window{w}
+		} else {
+			st.windows = append(st.windows, w)
+		}
+	case 1: // middle occurrence
+		if len(st.windows) == 0 {
+			return
+		}
+		if star {
+			// Accumulate in every open window; A* signals at E.
+			for _, w := range st.windows {
+				w.mids = append(w.mids, occ)
+			}
+			return
+		}
+		// A signals per middle occurrence inside the window(s).
+		switch ctx {
+		case Recent:
+			w := st.windows[len(st.windows)-1]
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, w.start, occ))
+		case Chronicle:
+			w := st.windows[0]
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, w.start, occ))
+		case Continuous:
+			for _, w := range st.windows {
+				n.emit(ctx, mergeOccs(n.eventName(), ctx, w.start, occ))
+			}
+		case Cumulative:
+			parts := []*Occ{}
+			for _, w := range st.windows {
+				parts = append(parts, w.start)
+			}
+			parts = append(parts, occ)
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, parts...))
+		}
+	case 2: // window closes
+		if len(st.windows) == 0 {
+			return
+		}
+		if star {
+			switch ctx {
+			case Recent:
+				w := st.windows[0]
+				st.windows = nil
+				if len(w.mids) > 0 {
+					parts := append([]*Occ{w.start}, w.mids...)
+					parts = append(parts, occ)
+					n.emit(ctx, mergeOccs(n.eventName(), ctx, parts...))
+				}
+			case Chronicle:
+				w := st.windows[0]
+				st.windows = st.windows[1:]
+				if len(w.mids) > 0 {
+					parts := append([]*Occ{w.start}, w.mids...)
+					parts = append(parts, occ)
+					n.emit(ctx, mergeOccs(n.eventName(), ctx, parts...))
+				}
+			case Continuous:
+				for _, w := range st.windows {
+					if len(w.mids) > 0 {
+						parts := append([]*Occ{w.start}, w.mids...)
+						parts = append(parts, occ)
+						n.emit(ctx, mergeOccs(n.eventName(), ctx, parts...))
+					}
+				}
+				st.windows = nil
+			case Cumulative:
+				var parts []*Occ
+				any := false
+				for _, w := range st.windows {
+					parts = append(parts, w.start)
+					if len(w.mids) > 0 {
+						any = true
+						parts = append(parts, w.mids...)
+					}
+				}
+				st.windows = nil
+				if any {
+					parts = append(parts, occ)
+					n.emit(ctx, mergeOccs(n.eventName(), ctx, parts...))
+				}
+			}
+			return
+		}
+		// Plain A: E just closes windows.
+		switch ctx {
+		case Recent, Continuous, Cumulative:
+			st.windows = nil
+		case Chronicle:
+			st.windows = st.windows[1:]
+		}
+	}
+}
+
+// onPeriodic implements P(S, [t], E) and P*(S, [t], E).
+func (n *node) onPeriodic(ctx Context, st *opState, idx int, occ *Occ) {
+	star := n.kind == kPerStar
+	switch idx {
+	case 0: // start: open a window with a repeating timer
+		if ctx == Recent {
+			for _, w := range st.windows {
+				n.stopWindow(w)
+			}
+			st.windows = nil
+		}
+		w := &window{start: occ}
+		st.windows = append(st.windows, w)
+		n.armPeriodic(ctx, st, w)
+	case 1: // end: close window(s)
+		close := func(w *window) {
+			n.stopWindow(w)
+			if star && len(w.mids) > 0 {
+				parts := append([]*Occ{w.start}, w.mids...)
+				parts = append(parts, occ)
+				n.emit(ctx, mergeOccs(n.eventName(), ctx, parts...))
+			}
+		}
+		switch ctx {
+		case Chronicle:
+			if len(st.windows) > 0 {
+				close(st.windows[0])
+				st.windows = st.windows[1:]
+			}
+		default:
+			for _, w := range st.windows {
+				close(w)
+			}
+			st.windows = nil
+		}
+	}
+}
+
+// armPeriodic schedules the next tick of a periodic window.
+func (n *node) armPeriodic(ctx Context, st *opState, w *window) {
+	id := n.nextID
+	n.nextID++
+	if n.cancels == nil {
+		n.cancels = make(map[int]func())
+	}
+	cancel := n.led.clock.AfterFunc(n.dur, func() {
+		n.led.dispatch(func() {
+			delete(n.cancels, id)
+			// The window may have been closed between firing and lock
+			// acquisition.
+			open := false
+			for _, ww := range st.windows {
+				if ww == w {
+					open = true
+					break
+				}
+			}
+			if !open {
+				return
+			}
+			tick := &Occ{
+				Event: n.eventName(),
+				At:    n.led.clock.Now(),
+				Constituents: []Primitive{{
+					Event: n.eventName(), Op: "tick", At: n.led.clock.Now(),
+				}},
+			}
+			if n.kind == kPerStar {
+				w.mids = append(w.mids, tick)
+			} else {
+				n.emit(ctx, mergeOccs(n.eventName(), ctx, w.start, tick))
+			}
+			n.armPeriodic(ctx, st, w)
+		})
+	})
+	n.cancels[id] = cancel
+	w.cancel = cancel
+}
+
+func (n *node) stopWindow(w *window) {
+	if w.cancel != nil {
+		w.cancel()
+		w.cancel = nil
+	}
+}
+
+// onPlus schedules the delayed re-emission of the child occurrence.
+func (n *node) onPlus(ctx Context, occ *Occ) {
+	target := occ.At.Add(n.dur)
+	delay := target.Sub(n.led.clock.Now())
+	if delay < 0 {
+		delay = 0
+	}
+	id := n.nextID
+	n.nextID++
+	if n.cancels == nil {
+		n.cancels = make(map[int]func())
+	}
+	cancel := n.led.clock.AfterFunc(delay, func() {
+		n.led.dispatch(func() {
+			delete(n.cancels, id)
+			out := occ.clone()
+			out.At = target
+			out.Constituents = append(out.Constituents, Primitive{
+				Event: n.eventName(), Op: "time", At: target,
+			})
+			n.emit(ctx, out)
+		})
+	})
+	n.cancels[id] = cancel
+}
+
+// scheduleTemporal arms a one-shot absolute-time event.
+func (n *node) scheduleTemporal(ctx Context) {
+	delay := n.absAt.Sub(n.led.clock.Now())
+	if delay < 0 {
+		return // already past; never fires
+	}
+	id := n.nextID
+	n.nextID++
+	if n.cancels == nil {
+		n.cancels = make(map[int]func())
+	}
+	cancel := n.led.clock.AfterFunc(delay, func() {
+		n.led.dispatch(func() {
+			delete(n.cancels, id)
+			occ := &Occ{
+				Event: n.eventName(),
+				At:    n.absAt,
+				Constituents: []Primitive{{
+					Event: n.eventName(), Op: "time", At: n.absAt,
+				}},
+			}
+			n.emit(ctx, occ)
+		})
+	})
+	n.cancels[id] = cancel
+}

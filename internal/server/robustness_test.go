@@ -1,0 +1,107 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/client"
+	"github.com/activedb/ecaagent/internal/tds"
+)
+
+// TestGarbageBytesDoNotWedgeServer: a connection that sends junk is
+// dropped without affecting other clients.
+func TestGarbageBytesDoNotWedgeServer(t *testing.T) {
+	srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	_, _ = conn.Read(buf) // server replies or closes; either is fine
+	conn.Close()
+
+	// The server still serves real clients.
+	c, err := client.Connect(srv.Addr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.MustExec("create database ok"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWrongFirstPacket: a LANGUAGE packet before LOGIN is rejected.
+func TestWrongFirstPacket(t *testing.T) {
+	srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := tds.WritePacket(conn, tds.MarshalLanguage("select 1")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	pkt, err := tds.ReadPacket(conn)
+	if err == nil {
+		ack, aerr := tds.UnmarshalLoginAck(pkt)
+		if aerr == nil && ack.OK {
+			t.Error("server accepted a session without LOGIN")
+		}
+	}
+}
+
+// TestClientDisconnectMidSession: an abrupt client disconnect leaves the
+// server healthy.
+func TestClientDisconnectMidSession(t *testing.T) {
+	srv := startServer(t)
+	c, err := client.Connect(srv.Addr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MustExec("create database d"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // abrupt, mid-session
+
+	c2, err := client.Connect(srv.Addr(), client.Options{Database: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.MustExec("create table t (a int null)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOversizedPacketRejected: a huge declared length is refused before
+// allocation.
+func TestOversizedPacketRejected(t *testing.T) {
+	srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// type byte + 4-byte length of ~4GB.
+	if _, err := conn.Write([]byte{0x01, 0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if n, err := conn.Read(buf); err == nil && n > 0 {
+		// A reply is acceptable as long as the server did not crash.
+		t.Logf("server replied %d bytes", n)
+	}
+	c, err := client.Connect(srv.Addr(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}

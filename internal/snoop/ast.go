@@ -1,0 +1,186 @@
+// Package snoop implements the Snoop event specification language of
+// Section 2.1 of the paper: primitive event references, the binary
+// operators OR, AND (^) and SEQ (;), the aperiodic operators A and A*, the
+// periodic operators P and P*, NOT, PLUS, and temporal events.
+//
+// The parser accepts both the keyword spellings (OR, AND, SEQ) and the
+// symbol spellings (| ^ ;) used in the paper's Example 2
+// ("addDel = delStk ^ addStk").
+package snoop
+
+import (
+	"fmt"
+	"time"
+)
+
+// Expr is a Snoop event expression.
+type Expr interface {
+	// String renders the expression in canonical Snoop syntax; parsing the
+	// result yields an equal expression.
+	String() string
+	exprNode()
+}
+
+// EventRef names a previously defined event (primitive or composite). The
+// optional Object and App fields carry the Eventname:Objectname and
+// Eventname::AppId qualifications from the BNF.
+type EventRef struct {
+	Name   string
+	Object string // Eventname:Objectname
+	App    string // Eventname::AppId
+}
+
+// Or is E1 OR E2: either constituent occurrence signals the composite.
+type Or struct{ L, R Expr }
+
+// And is E1 AND E2 (written ^): both constituents in any order.
+type And struct{ L, R Expr }
+
+// Seq is E1 SEQ E2 (written ;): E1 strictly before E2.
+type Seq struct{ L, R Expr }
+
+// Not is NOT(E1, E2, E3): E3 occurs with no E2 since the initiating E1.
+type Not struct{ Start, Middle, End Expr }
+
+// Aperiodic is A(E1, E2, E3): each E2 within the window opened by E1 and
+// closed by E3. Star marks the cumulative variant A*, which signals once
+// at E3 with every accumulated E2.
+type Aperiodic struct {
+	Start, Mid, End Expr
+	Star            bool
+}
+
+// Periodic is P(E1, [t], E3): a tick every t after E1 until E3. Star marks
+// the cumulative variant P*, which signals once at E3 with all ticks.
+type Periodic struct {
+	Start  Expr
+	Period time.Duration
+	// Param is the optional ":parameter" annotation from the BNF; it is
+	// carried through for rule parameter collection.
+	Param string
+	End   Expr
+	Star  bool
+}
+
+// Plus is E PLUS [t]: fires t after each occurrence of E.
+type Plus struct {
+	E     Expr
+	Delta time.Duration
+}
+
+// Temporal is a bare absolute [time string] event.
+type Temporal struct{ At time.Time }
+
+func (*EventRef) exprNode()  {}
+func (*Or) exprNode()        {}
+func (*And) exprNode()       {}
+func (*Seq) exprNode()       {}
+func (*Not) exprNode()       {}
+func (*Aperiodic) exprNode() {}
+func (*Periodic) exprNode()  {}
+func (*Plus) exprNode()      {}
+func (*Temporal) exprNode()  {}
+
+func (e *EventRef) String() string {
+	switch {
+	case e.App != "":
+		return e.Name + "::" + e.App
+	case e.Object != "":
+		return e.Name + ":" + e.Object
+	default:
+		return e.Name
+	}
+}
+
+func (e *Or) String() string  { return "(" + e.L.String() + " | " + e.R.String() + ")" }
+func (e *And) String() string { return "(" + e.L.String() + " ^ " + e.R.String() + ")" }
+func (e *Seq) String() string { return "(" + e.L.String() + " ; " + e.R.String() + ")" }
+
+func (e *Not) String() string {
+	return fmt.Sprintf("NOT(%s, %s, %s)", e.Start, e.Middle, e.End)
+}
+
+func (e *Aperiodic) String() string {
+	op := "A"
+	if e.Star {
+		op = "A*"
+	}
+	return fmt.Sprintf("%s(%s, %s, %s)", op, e.Start, e.Mid, e.End)
+}
+
+func (e *Periodic) String() string {
+	op := "P"
+	if e.Star {
+		op = "P*"
+	}
+	t := "[" + FormatDuration(e.Period) + "]"
+	if e.Param != "" {
+		t += ":" + e.Param
+	}
+	return fmt.Sprintf("%s(%s, %s, %s)", op, e.Start, t, e.End)
+}
+
+func (e *Plus) String() string {
+	return fmt.Sprintf("(%s PLUS [%s])", e.E, FormatDuration(e.Delta))
+}
+
+func (e *Temporal) String() string {
+	return "[" + e.At.Format("2006-01-02 15:04:05") + "]"
+}
+
+// Walk calls fn on e and every sub-expression, depth-first.
+func Walk(e Expr, fn func(Expr)) {
+	fn(e)
+	switch e := e.(type) {
+	case *Or:
+		Walk(e.L, fn)
+		Walk(e.R, fn)
+	case *And:
+		Walk(e.L, fn)
+		Walk(e.R, fn)
+	case *Seq:
+		Walk(e.L, fn)
+		Walk(e.R, fn)
+	case *Not:
+		Walk(e.Start, fn)
+		Walk(e.Middle, fn)
+		Walk(e.End, fn)
+	case *Aperiodic:
+		Walk(e.Start, fn)
+		Walk(e.Mid, fn)
+		Walk(e.End, fn)
+	case *Periodic:
+		Walk(e.Start, fn)
+		Walk(e.End, fn)
+	case *Plus:
+		Walk(e.E, fn)
+	}
+}
+
+// EventNames returns the distinct event names referenced by e, in first-
+// appearance order.
+func EventNames(e Expr) []string {
+	seen := make(map[string]bool)
+	var out []string
+	Walk(e, func(x Expr) {
+		if ref, ok := x.(*EventRef); ok && !seen[ref.Name] {
+			seen[ref.Name] = true
+			out = append(out, ref.Name)
+		}
+	})
+	return out
+}
+
+// FormatDuration renders a duration in Snoop time-string syntax.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0 && d >= time.Hour:
+		return fmt.Sprintf("%d hour", d/time.Hour)
+	case d%time.Minute == 0 && d >= time.Minute:
+		return fmt.Sprintf("%d min", d/time.Minute)
+	case d%time.Second == 0 && d >= time.Second:
+		return fmt.Sprintf("%d sec", d/time.Second)
+	default:
+		return fmt.Sprintf("%d ms", d/time.Millisecond)
+	}
+}

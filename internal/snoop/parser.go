@@ -1,0 +1,393 @@
+package snoop
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// token kinds for the Snoop lexer.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tName
+	tTime // bracketed [time string], brackets stripped
+	tOp   // ( ) , | ^ ; : ::
+	tStar // trailing * in A* / P*
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '[':
+		end := strings.IndexByte(l.src[l.pos:], ']')
+		if end < 0 {
+			return token{}, fmt.Errorf("snoop: unterminated time string at %d", l.pos)
+		}
+		text := l.src[l.pos+1 : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tTime, text: strings.TrimSpace(text)}, nil
+	case '(', ')', ',', '|', '^', ';':
+		l.pos++
+		return token{kind: tOp, text: string(c)}, nil
+	case ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			l.pos += 2
+			return token{kind: tOp, text: "::"}, nil
+		}
+		l.pos++
+		return token{kind: tOp, text: ":"}, nil
+	case '*':
+		l.pos++
+		return token{kind: tStar, text: "*"}, nil
+	}
+	if isNameChar(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tName, text: l.src[start:l.pos]}, nil
+	}
+	return token{}, fmt.Errorf("snoop: unexpected character %q at %d", c, l.pos)
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == '.' || c >= '0' && c <= '9' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// Parser parses Snoop event expressions.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a complete Snoop event expression.
+func Parse(src string) (Expr, error) {
+	lx := &lexer{src: src}
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tEOF {
+			break
+		}
+		toks = append(toks, t)
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("snoop: unexpected %q after expression", p.peek().text)
+	}
+	return e, nil
+}
+
+func (p *parser) peek() token {
+	if p.pos >= len(p.toks) {
+		return token{kind: tEOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) peekAt(n int) token {
+	if p.pos+n >= len(p.toks) {
+		return token{kind: tEOF}
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && (text == "" || strings.EqualFold(t.text, text)) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	if !p.accept(kind, text) {
+		return fmt.Errorf("snoop: expected %q, got %q", text, p.peek().text)
+	}
+	return nil
+}
+
+// isKeywordTok reports whether the current token is a bare operator keyword.
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tName && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tOp, "|") || (p.isKeyword("or") && p.accept(tName, "or")) {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tOp, "^") || (p.isKeyword("and") && p.accept(tName, "and")) {
+		r, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		l = &And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseSeq() (Expr, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tOp, ";") || (p.isKeyword("seq") && p.accept(tName, "seq")) {
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		l = &Seq{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parsePostfix handles E PLUS [t].
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("plus") {
+		p.pos++
+		t := p.peek()
+		if t.kind != tTime {
+			return nil, fmt.Errorf("snoop: PLUS requires a [time string], got %q", t.text)
+		}
+		p.pos++
+		d, err := ParseDuration(t.text)
+		if err != nil {
+			return nil, err
+		}
+		e = &Plus{E: e, Delta: d}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tOp && t.text == "(":
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tTime:
+		p.pos++
+		at, err := parseAbsoluteTime(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return &Temporal{At: at}, nil
+	case t.kind == tName:
+		switch {
+		case strings.EqualFold(t.text, "not") && p.peekAt(1).text == "(":
+			return p.parseTriple("not")
+		case strings.EqualFold(t.text, "a") && (p.peekAt(1).text == "(" || p.peekAt(1).kind == tStar):
+			return p.parseTriple("a")
+		case strings.EqualFold(t.text, "p") && (p.peekAt(1).text == "(" || p.peekAt(1).kind == tStar):
+			return p.parsePeriodic()
+		default:
+			return p.parseEventRef()
+		}
+	default:
+		return nil, fmt.Errorf("snoop: unexpected %q", t.text)
+	}
+}
+
+func (p *parser) parseEventRef() (Expr, error) {
+	t := p.peek()
+	if t.kind != tName {
+		return nil, fmt.Errorf("snoop: expected event name, got %q", t.text)
+	}
+	p.pos++
+	ref := &EventRef{Name: t.text}
+	switch {
+	case p.accept(tOp, "::"):
+		app := p.peek()
+		if app.kind != tName {
+			return nil, fmt.Errorf("snoop: expected application id after ::")
+		}
+		p.pos++
+		ref.App = app.text
+	case p.accept(tOp, ":"):
+		obj := p.peek()
+		if obj.kind != tName {
+			return nil, fmt.Errorf("snoop: expected object name after :")
+		}
+		p.pos++
+		ref.Object = obj.text
+	}
+	return ref, nil
+}
+
+// parseTriple parses NOT(E,E,E), A(E,E,E) and A*(E,E,E).
+func (p *parser) parseTriple(op string) (Expr, error) {
+	p.pos++ // keyword
+	star := p.accept(tStar, "")
+	if star && op == "not" {
+		return nil, fmt.Errorf("snoop: NOT has no * variant")
+	}
+	if err := p.expect(tOp, "("); err != nil {
+		return nil, err
+	}
+	var args [3]Expr
+	for i := 0; i < 3; i++ {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		args[i] = e
+		if i < 2 {
+			if err := p.expect(tOp, ","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(tOp, ")"); err != nil {
+		return nil, err
+	}
+	if op == "not" {
+		return &Not{Start: args[0], Middle: args[1], End: args[2]}, nil
+	}
+	return &Aperiodic{Start: args[0], Mid: args[1], End: args[2], Star: star}, nil
+}
+
+// parsePeriodic parses P(E1, [t][:param], E3) and P*(...).
+func (p *parser) parsePeriodic() (Expr, error) {
+	p.pos++ // P
+	star := p.accept(tStar, "")
+	if err := p.expect(tOp, "("); err != nil {
+		return nil, err
+	}
+	start, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tOp, ","); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tTime {
+		return nil, fmt.Errorf("snoop: P requires a [time string], got %q", t.text)
+	}
+	p.pos++
+	period, err := ParseDuration(t.text)
+	if err != nil {
+		return nil, err
+	}
+	param := ""
+	if p.accept(tOp, ":") {
+		pt := p.peek()
+		if pt.kind != tName {
+			return nil, fmt.Errorf("snoop: expected parameter name after :")
+		}
+		p.pos++
+		param = pt.text
+	}
+	if err := p.expect(tOp, ","); err != nil {
+		return nil, err
+	}
+	end, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tOp, ")"); err != nil {
+		return nil, err
+	}
+	return &Periodic{Start: start, Period: period, Param: param, End: end, Star: star}, nil
+}
+
+// ParseDuration parses a relative Snoop time string: "<n> <unit>" with
+// units ms, sec/second(s), min/minute(s), hour(s). A bare number means
+// seconds.
+func ParseDuration(s string) (time.Duration, error) {
+	fields := strings.Fields(strings.ToLower(strings.TrimSpace(s)))
+	if len(fields) == 0 || len(fields) > 2 {
+		return 0, fmt.Errorf("snoop: bad time string %q", s)
+	}
+	n, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("snoop: bad time value %q", s)
+	}
+	unit := "sec"
+	if len(fields) == 2 {
+		unit = fields[1]
+	}
+	switch unit {
+	case "ms", "msec", "millisecond", "milliseconds":
+		return time.Duration(n) * time.Millisecond, nil
+	case "s", "sec", "secs", "second", "seconds":
+		return time.Duration(n) * time.Second, nil
+	case "min", "mins", "minute", "minutes":
+		return time.Duration(n) * time.Minute, nil
+	case "hour", "hours", "hr", "hrs":
+		return time.Duration(n) * time.Hour, nil
+	default:
+		return 0, fmt.Errorf("snoop: unknown time unit %q", unit)
+	}
+}
+
+// parseAbsoluteTime parses a bare temporal event's time string.
+func parseAbsoluteTime(s string) (time.Time, error) {
+	for _, layout := range []string{
+		"2006-01-02 15:04:05",
+		"2006-01-02T15:04:05",
+		"15:04:05",
+	} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("snoop: cannot parse absolute time %q", s)
+}

@@ -1,0 +1,237 @@
+package snoop
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestParseEventRef(t *testing.T) {
+	e := mustParse(t, "sentineldb.sharma.addStk")
+	ref, ok := e.(*EventRef)
+	if !ok || ref.Name != "sentineldb.sharma.addStk" {
+		t.Fatalf("got %#v", e)
+	}
+	e = mustParse(t, "deposit:account1")
+	ref = e.(*EventRef)
+	if ref.Object != "account1" {
+		t.Errorf("object: %+v", ref)
+	}
+	e = mustParse(t, "login::site_app")
+	ref = e.(*EventRef)
+	if ref.App != "site_app" {
+		t.Errorf("app: %+v", ref)
+	}
+}
+
+func TestParsePaperExample2(t *testing.T) {
+	// "addDel = delStk ^ addStk" — the expression part.
+	e := mustParse(t, "delStk ^ addStk")
+	and, ok := e.(*And)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if and.L.(*EventRef).Name != "delStk" || and.R.(*EventRef).Name != "addStk" {
+		t.Errorf("operands: %v", e)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// SEQ binds tighter than AND binds tighter than OR.
+	e := mustParse(t, "a | b ^ c ; d")
+	want := "(a | (b ^ (c ; d)))"
+	if got := e.String(); got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+	e = mustParse(t, "(a | b) ^ c")
+	want = "((a | b) ^ c)"
+	if got := e.String(); got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+}
+
+func TestParseKeywordSpellings(t *testing.T) {
+	a := mustParse(t, "x OR y AND z SEQ w")
+	b := mustParse(t, "x | y ^ z ; w")
+	if a.String() != b.String() {
+		t.Errorf("keyword vs symbol: %s vs %s", a, b)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	e := mustParse(t, "NOT(open, audit, close)")
+	n, ok := e.(*Not)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if n.Start.(*EventRef).Name != "open" || n.Middle.(*EventRef).Name != "audit" || n.End.(*EventRef).Name != "close" {
+		t.Errorf("args: %v", e)
+	}
+}
+
+func TestParseAperiodic(t *testing.T) {
+	e := mustParse(t, "A(open, trade, close)")
+	a := e.(*Aperiodic)
+	if a.Star {
+		t.Error("A parsed as A*")
+	}
+	e = mustParse(t, "A*(open, trade, close)")
+	a = e.(*Aperiodic)
+	if !a.Star {
+		t.Error("A* lost star")
+	}
+}
+
+func TestParsePeriodic(t *testing.T) {
+	e := mustParse(t, "P(open, [5 sec], close)")
+	p := e.(*Periodic)
+	if p.Period != 5*time.Second || p.Star || p.Param != "" {
+		t.Errorf("periodic: %+v", p)
+	}
+	e = mustParse(t, "P*(open, [2 min]:price, close)")
+	p = e.(*Periodic)
+	if !p.Star || p.Period != 2*time.Minute || p.Param != "price" {
+		t.Errorf("P*: %+v", p)
+	}
+}
+
+func TestParsePlus(t *testing.T) {
+	e := mustParse(t, "alarm PLUS [30 sec]")
+	pl := e.(*Plus)
+	if pl.Delta != 30*time.Second {
+		t.Errorf("plus: %+v", pl)
+	}
+	// PLUS chains.
+	e = mustParse(t, "alarm PLUS [1 sec] PLUS [2 sec]")
+	outer := e.(*Plus)
+	if outer.Delta != 2*time.Second {
+		t.Errorf("chained plus: %+v", outer)
+	}
+	if _, ok := outer.E.(*Plus); !ok {
+		t.Errorf("inner: %T", outer.E)
+	}
+}
+
+func TestParseTemporal(t *testing.T) {
+	e := mustParse(t, "[2026-07-04 10:00:00]")
+	tm := e.(*Temporal)
+	if tm.At.Year() != 2026 || tm.At.Hour() != 10 {
+		t.Errorf("temporal: %+v", tm)
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	e := mustParse(t, "A*(open ; arm, NOT(a, b, c), close PLUS [5 sec]) ^ (x | y)")
+	if _, ok := e.(*And); !ok {
+		t.Fatalf("got %T", e)
+	}
+	names := EventNames(e)
+	want := []string{"open", "arm", "a", "b", "c", "close", "x", "y"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("names: %v", names)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"a ^",
+		"^ a",
+		"a b",
+		"NOT(a, b)",
+		"NOT*(a, b, c)",
+		"A(a, b, c",
+		"P(a, b, c)",      // middle must be a time string
+		"P(a, [5 sec] c)", // missing comma
+		"P(a, [xyz], c)",  // bad duration
+		"a PLUS 5",        // PLUS needs [..]
+		"a PLUS [5 lightyears]",
+		"[not a time]",
+		"(a",
+		"a :",
+		"a ::",
+		"a ? b",
+		"[5 sec",
+	}
+	for _, src := range bad {
+		if e, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded: %v", src, e)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	corpus := []string{
+		"a",
+		"a | b",
+		"a ^ b ^ c",
+		"a ; b | c ^ d",
+		"NOT(a, b, c)",
+		"A(a, b, c)",
+		"A*(a | b, c, d)",
+		"P(a, [5 sec], b)",
+		"P*(a, [2 min]:qty, b)",
+		"a PLUS [100 ms]",
+		"deposit:acct ^ withdraw::site_app",
+	}
+	for _, src := range corpus {
+		e1 := mustParse(t, src)
+		e2 := mustParse(t, e1.String())
+		if e1.String() != e2.String() {
+			t.Errorf("round trip of %q: %q vs %q", src, e1, e2)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := map[string]time.Duration{
+		"5 sec":    5 * time.Second,
+		"100 ms":   100 * time.Millisecond,
+		"2 min":    2 * time.Minute,
+		"1 hour":   time.Hour,
+		"3":        3 * time.Second,
+		"10 hours": 10 * time.Hour,
+	}
+	for in, want := range cases {
+		got, err := ParseDuration(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDuration(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "x", "-1 sec", "5 parsecs", "1 2 3"} {
+		if _, err := ParseDuration(in); err == nil {
+			t.Errorf("ParseDuration(%q) succeeded", in)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		5 * time.Second:        "5 sec",
+		2 * time.Minute:        "2 min",
+		time.Hour:              "1 hour",
+		150 * time.Millisecond: "150 ms",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%v) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestEventNamesDedup(t *testing.T) {
+	e := mustParse(t, "a ^ a ; a | b")
+	names := EventNames(e)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names: %v", names)
+	}
+}

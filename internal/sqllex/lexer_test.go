@@ -1,0 +1,205 @@
+package sqllex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func texts(ts []Token) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	ts, err := Tokenize("select symbol, price from stock where price >= 10.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"select", "symbol", ",", "price", "from", "stock", "where", "price", ">=", "10.5"}
+	got := texts(ts)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeString(t *testing.T) {
+	ts, err := Tokenize("print 'it''s a test'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[1].Kind != TokString || ts[1].Text != "it's a test" {
+		t.Errorf("got %+v", ts)
+	}
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	ts, err := Tokenize("select 1 -- trailing\n/* block\ncomment */ , 2 /* unclosed tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(ts)
+	want := []string{"select", "1", ",", "2"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeQuotedIdent(t *testing.T) {
+	ts, err := Tokenize(`select [select] from "from"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(ts)
+	want := []string{"select", "select", "from", "from"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("got %v want %v", got, want)
+	}
+	if _, err := Tokenize("[oops"); err == nil {
+		t.Error("unterminated bracket ident accepted")
+	}
+}
+
+func TestTokenizeVariables(t *testing.T) {
+	ts, err := Tokenize("exec p @x = 1, @y_2 = 'a'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[2].Kind != TokVariable || ts[2].Text != "@x" {
+		t.Errorf("got %+v", ts[2])
+	}
+	if _, err := Tokenize("@ alone"); err == nil {
+		t.Error("lone @ accepted")
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":     "42",
+		"3.25":   "3.25",
+		"1e6":    "1e6",
+		"2.5e-3": "2.5e-3",
+		"7e":     "7", // no exponent digits: '7' then ident 'e'
+		"10.a":   "10",
+	}
+	for in, first := range cases {
+		ts, err := Tokenize(in)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", in, err)
+		}
+		if len(ts) == 0 || ts[0].Text != first {
+			t.Errorf("Tokenize(%q)[0] = %v, want %q", in, ts, first)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	ts, err := Tokenize("a<>b != c <= d >= e ^ f . g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range ts {
+		if tok.Kind == TokOp {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<>", "!=", "<=", ">=", "^", "."}
+	if strings.Join(ops, "|") != strings.Join(want, "|") {
+		t.Errorf("got %v want %v", ops, want)
+	}
+	if _, err := Tokenize("a ? b"); err == nil {
+		t.Error("unknown character accepted")
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	src := "update  stock set price = 1"
+	ts, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range ts {
+		if tok.Kind == TokString {
+			continue
+		}
+		if got := src[tok.Pos:tok.End]; !strings.EqualFold(got, tok.Text) {
+			t.Errorf("token %q spans %q", tok.Text, got)
+		}
+	}
+}
+
+func TestIsKeywordAndIsOp(t *testing.T) {
+	ts, _ := Tokenize("CREATE trigger =")
+	if !ts[0].IsKeyword("create") || !ts[1].IsKeyword("TRIGGER") {
+		t.Error("IsKeyword case-insensitivity failed")
+	}
+	if ts[0].IsKeyword("created") {
+		t.Error("IsKeyword matched wrong word")
+	}
+	if !ts[2].IsOp("=") || ts[2].IsOp("==") {
+		t.Error("IsOp failed")
+	}
+}
+
+func TestLexerRestAndSkipTo(t *testing.T) {
+	lx := New("create trigger t as select * from s")
+	for i := 0; i < 3; i++ {
+		if _, err := lx.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After "create trigger t", next token should be "as"; capture rest after it.
+	tok, err := lx.Next()
+	if err != nil || !tok.IsKeyword("as") {
+		t.Fatalf("expected as, got %+v err=%v", tok, err)
+	}
+	rest := strings.TrimSpace(lx.Rest())
+	if rest != "select * from s" {
+		t.Errorf("Rest() = %q", rest)
+	}
+	lx.SkipTo(-5)
+	tok, _ = lx.Next()
+	if !tok.IsKeyword("create") {
+		t.Errorf("SkipTo(0) then Next = %+v", tok)
+	}
+	lx.SkipTo(1 << 20)
+	tok, _ = lx.Next()
+	if tok.Kind != TokEOF {
+		t.Errorf("SkipTo(end) then Next = %+v", tok)
+	}
+}
+
+func TestTokenizeNeverPanicsProperty(t *testing.T) {
+	f := func(s string) bool {
+		// Tokenize must terminate and never panic on arbitrary input.
+		_, _ = Tokenize(s)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "\x00") {
+			return true
+		}
+		quoted := "'" + strings.ReplaceAll(s, "'", "''") + "'"
+		ts, err := Tokenize(quoted)
+		if err != nil || len(ts) != 1 {
+			return false
+		}
+		return ts[0].Kind == TokString && ts[0].Text == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

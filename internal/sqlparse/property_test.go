@@ -1,0 +1,137 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/activedb/ecaagent/internal/sqltypes"
+)
+
+// genExpr builds a random expression AST of bounded depth.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &Literal{Value: sqltypes.NewInt(int64(rng.Intn(1000)))}
+		case 1:
+			return &Literal{Value: sqltypes.NewFloat(float64(rng.Intn(100)) + 0.5)}
+		case 2:
+			return &Literal{Value: sqltypes.NewString(randIdent(rng))}
+		default:
+			return &ColumnRef{Name: randIdent(rng)}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		ops := []BinaryOp{OpAdd, OpSub, OpMul, OpDiv, OpMod}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))],
+			L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 1:
+		ops := []BinaryOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))],
+			L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 2:
+		ops := []BinaryOp{OpAnd, OpOr}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))],
+			L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 3:
+		op := "not"
+		if rng.Intn(2) == 0 {
+			op = "-"
+		}
+		return &UnaryExpr{Op: op, E: genExpr(rng, depth-1)}
+	case 4:
+		n := rng.Intn(3)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = genExpr(rng, depth-1)
+		}
+		return &FuncCall{Name: "f" + randIdent(rng), Args: args}
+	case 5:
+		return &IsNull{E: genExpr(rng, depth-1), Negate: rng.Intn(2) == 0}
+	default:
+		n := 1 + rng.Intn(3)
+		list := make([]Expr, n)
+		for i := range list {
+			list[i] = genExpr(rng, depth-1)
+		}
+		return &InList{E: genExpr(rng, depth-1), List: list, Negate: rng.Intn(2) == 0}
+	}
+}
+
+func randIdent(rng *rand.Rand) string {
+	letters := "abcdefgh"
+	n := 1 + rng.Intn(5)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(out)
+}
+
+// TestPropertyExprRoundTrip: for random ASTs, one parse normalizes the
+// text (e.g. folding -75.5 into a literal) and a second parse is a
+// fixpoint: parse(parse(sql).SQL()).SQL() == parse(sql).SQL().
+func TestPropertyExprRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 3)
+		sql1 := e.SQL()
+		parsed, err := ParseExpr(sql1)
+		if err != nil {
+			t.Logf("seed %d: %q: %v", seed, sql1, err)
+			return false
+		}
+		sql2 := parsed.SQL()
+		reparsed, err := ParseExpr(sql2)
+		if err != nil {
+			t.Logf("seed %d: normalized %q no longer parses: %v", seed, sql2, err)
+			return false
+		}
+		if sql3 := reparsed.SQL(); sql3 != sql2 {
+			t.Logf("seed %d: not a fixpoint:\n  sql2 %q\n  sql3 %q", seed, sql2, sql3)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStatementRoundTrip: random simple statements round-trip.
+func TestPropertyStatementRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stmts := []Statement{
+			&Insert{Table: ON(randIdent(rng)), Values: [][]Expr{{genExpr(rng, 1), genExpr(rng, 1)}}},
+			&Update{Table: ON(randIdent(rng)),
+				Set:   []Assignment{{Column: randIdent(rng), Value: genExpr(rng, 2)}},
+				Where: genExpr(rng, 2)},
+			&Delete{Table: ON(randIdent(rng)), Where: genExpr(rng, 2)},
+			&Print{Value: genExpr(rng, 2)},
+		}
+		st := stmts[rng.Intn(len(stmts))]
+		sql1 := st.SQL()
+		parsed, err := ParseBatch(sql1)
+		if err != nil || len(parsed) != 1 {
+			t.Logf("seed %d: %q: %v (%d stmts)", seed, sql1, err, len(parsed))
+			return false
+		}
+		sql2 := parsed[0].SQL()
+		reparsed, err := ParseBatch(sql2)
+		if err != nil || len(reparsed) != 1 {
+			t.Logf("seed %d: normalized %q no longer parses: %v", seed, sql2, err)
+			return false
+		}
+		if sql3 := reparsed[0].SQL(); sql3 != sql2 {
+			t.Logf("seed %d: not a fixpoint:\n  sql2 %q\n  sql3 %q", seed, sql2, sql3)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

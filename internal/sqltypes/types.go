@@ -1,0 +1,178 @@
+// Package sqltypes defines the value and type system shared by the SQL
+// engine, the wire protocol, and the ECA agent.
+//
+// The type lattice mirrors the subset of Sybase System 11 types the paper's
+// generated code relies on: INT, FLOAT, BIT, CHAR(n), VARCHAR(n), TEXT and
+// DATETIME. Every value is nullable; NULL propagates through arithmetic and
+// comparisons with three-valued logic, matching the behaviour client code
+// written against the original server would observe.
+package sqltypes
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the storage classes of the type system.
+type Kind int
+
+// The supported type kinds.
+const (
+	KindNull Kind = iota // the type of an untyped NULL literal
+	KindInt
+	KindFloat
+	KindBit
+	KindChar
+	KindVarChar
+	KindText
+	KindDateTime
+)
+
+// String returns the SQL spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBit:
+		return "bit"
+	case KindChar:
+		return "char"
+	case KindVarChar:
+		return "varchar"
+	case KindText:
+		return "text"
+	case KindDateTime:
+		return "datetime"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Type is a complete column type: a kind plus, for character kinds, a
+// declared length.
+type Type struct {
+	Kind Kind
+	// Length is the declared length for CHAR and VARCHAR columns. It is 0
+	// for all other kinds (TEXT is unbounded, as in the original server).
+	Length int
+}
+
+// Common pre-built types.
+var (
+	Int      = Type{Kind: KindInt}
+	Float    = Type{Kind: KindFloat}
+	Bit      = Type{Kind: KindBit}
+	Text     = Type{Kind: KindText}
+	DateTime = Type{Kind: KindDateTime}
+)
+
+// VarChar returns a VARCHAR(n) type.
+func VarChar(n int) Type { return Type{Kind: KindVarChar, Length: n} }
+
+// Char returns a CHAR(n) type.
+func Char(n int) Type { return Type{Kind: KindChar, Length: n} }
+
+// String returns the SQL spelling of the type, e.g. "varchar(30)".
+func (t Type) String() string {
+	switch t.Kind {
+	case KindChar, KindVarChar:
+		return fmt.Sprintf("%s(%d)", t.Kind, t.Length)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsCharacter reports whether the type holds character data.
+func (t Type) IsCharacter() bool {
+	return t.Kind == KindChar || t.Kind == KindVarChar || t.Kind == KindText
+}
+
+// IsNumeric reports whether the type holds numeric data.
+func (t Type) IsNumeric() bool {
+	return t.Kind == KindInt || t.Kind == KindFloat || t.Kind == KindBit
+}
+
+// ParseType parses a SQL type spelling such as "int", "varchar(30)" or
+// "datetime". It is case-insensitive.
+func ParseType(s string) (Type, error) {
+	base := strings.ToLower(strings.TrimSpace(s))
+	length := 0
+	if i := strings.IndexByte(base, '('); i >= 0 {
+		if !strings.HasSuffix(base, ")") {
+			return Type{}, fmt.Errorf("malformed type %q", s)
+		}
+		n, err := parseInt(strings.TrimSpace(base[i+1 : len(base)-1]))
+		if err != nil {
+			return Type{}, fmt.Errorf("malformed type length in %q", s)
+		}
+		length = n
+		base = strings.TrimSpace(base[:i])
+	}
+	switch base {
+	case "int", "integer", "smallint", "tinyint":
+		return Int, nil
+	case "float", "real", "double", "numeric", "decimal", "money":
+		return Float, nil
+	case "bit":
+		return Bit, nil
+	case "char":
+		if length <= 0 {
+			length = 1
+		}
+		return Char(length), nil
+	case "varchar":
+		if length <= 0 {
+			length = 1
+		}
+		return VarChar(length), nil
+	case "text":
+		return Text, nil
+	case "datetime", "smalldatetime":
+		return DateTime, nil
+	default:
+		return Type{}, fmt.Errorf("unknown type %q", s)
+	}
+}
+
+func parseInt(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty integer")
+	}
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("bad digit %q", r)
+		}
+		n = n*10 + int(r-'0')
+		if n > 1<<30 {
+			return 0, fmt.Errorf("integer overflow")
+		}
+	}
+	return n, nil
+}
+
+// DateTimeFormat is the canonical textual layout for DATETIME values. It
+// mimics the default Sybase display format closely enough for round-trips.
+const DateTimeFormat = "2006-01-02 15:04:05.000"
+
+// ParseDateTime parses the textual forms the engine accepts for DATETIME
+// literals.
+func ParseDateTime(s string) (time.Time, error) {
+	for _, layout := range []string{
+		DateTimeFormat,
+		"2006-01-02 15:04:05",
+		"2006-01-02T15:04:05",
+		"2006-01-02",
+		"Jan 2 2006 3:04PM",
+	} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("cannot parse datetime %q", s)
+}

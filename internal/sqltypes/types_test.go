@@ -1,0 +1,90 @@
+package sqltypes
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseType(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Type
+	}{
+		{"int", Int},
+		{"INTEGER", Int},
+		{"smallint", Int},
+		{"float", Float},
+		{"money", Float},
+		{"bit", Bit},
+		{"varchar(30)", VarChar(30)},
+		{"VARCHAR( 12 )", VarChar(12)},
+		{"char(10)", Char(10)},
+		{"char", Char(1)},
+		{"text", Text},
+		{"datetime", DateTime},
+		{"smalldatetime", DateTime},
+	}
+	for _, c := range cases {
+		got, err := ParseType(c.in)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseType(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTypeErrors(t *testing.T) {
+	for _, in := range []string{"", "blob", "varchar(", "varchar(x)", "int(3))("} {
+		if _, err := ParseType(in); err == nil {
+			t.Errorf("ParseType(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if got := VarChar(30).String(); got != "varchar(30)" {
+		t.Errorf("VarChar(30).String() = %q", got)
+	}
+	if got := Int.String(); got != "int" {
+		t.Errorf("Int.String() = %q", got)
+	}
+	if got := DateTime.String(); got != "datetime" {
+		t.Errorf("DateTime.String() = %q", got)
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !VarChar(5).IsCharacter() || !Text.IsCharacter() || !Char(2).IsCharacter() {
+		t.Error("character predicate failed")
+	}
+	if Int.IsCharacter() || DateTime.IsCharacter() {
+		t.Error("non-character reported as character")
+	}
+	if !Int.IsNumeric() || !Float.IsNumeric() || !Bit.IsNumeric() {
+		t.Error("numeric predicate failed")
+	}
+	if Text.IsNumeric() || DateTime.IsNumeric() {
+		t.Error("non-numeric reported as numeric")
+	}
+}
+
+func TestParseDateTime(t *testing.T) {
+	want := time.Date(2026, 7, 4, 10, 30, 0, 0, time.UTC)
+	for _, in := range []string{"2026-07-04 10:30:00", "2026-07-04T10:30:00"} {
+		got, err := ParseDateTime(in)
+		if err != nil {
+			t.Fatalf("ParseDateTime(%q): %v", in, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("ParseDateTime(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := ParseDateTime("not a date"); err == nil {
+		t.Error("ParseDateTime accepted garbage")
+	}
+	if d, err := ParseDateTime("2026-07-04"); err != nil || d.Hour() != 0 {
+		t.Errorf("date-only parse: %v %v", d, err)
+	}
+}

@@ -1,0 +1,131 @@
+package tds
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/activedb/ecaagent/internal/sqltypes"
+)
+
+// ServerError is an error reported by the remote side inside the result
+// stream (as opposed to a transport failure).
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// WriteResults streams a slice of materialized result sets as protocol
+// tokens, appending an ERROR token if execErr is non-nil, and terminates
+// the response with DONEFINAL. The token order per result set is
+// ROWFMT, ROW*, INFO*, DONE — the order a real server emits.
+func WriteResults(w io.Writer, results []*sqltypes.ResultSet, execErr error) error {
+	for _, rs := range results {
+		if rs == nil {
+			continue
+		}
+		if rs.Schema != nil {
+			if err := WritePacket(w, MarshalRowFmt(rs.Schema)); err != nil {
+				return err
+			}
+			for _, row := range rs.Rows {
+				if err := WritePacket(w, MarshalRow(row)); err != nil {
+					return err
+				}
+			}
+		}
+		for _, msg := range rs.Messages {
+			if err := WritePacket(w, MarshalInfo(msg)); err != nil {
+				return err
+			}
+		}
+		if err := WritePacket(w, MarshalDone(rs.RowsAffected, false)); err != nil {
+			return err
+		}
+	}
+	if execErr != nil {
+		if err := WritePacket(w, MarshalError(execErr.Error())); err != nil {
+			return err
+		}
+	}
+	return WritePacket(w, MarshalDone(0, true))
+}
+
+// ReadResponse consumes tokens until DONEFINAL, reassembling materialized
+// result sets. A remote ERROR token is returned as *ServerError alongside
+// any results that preceded it; transport failures are returned as-is.
+func ReadResponse(r io.Reader) ([]*sqltypes.ResultSet, error) {
+	var (
+		results []*sqltypes.ResultSet
+		cur     *sqltypes.ResultSet
+		srvErr  error
+	)
+	ensure := func() *sqltypes.ResultSet {
+		if cur == nil {
+			cur = &sqltypes.ResultSet{}
+		}
+		return cur
+	}
+	for {
+		p, err := ReadPacket(r)
+		if err != nil {
+			return results, err
+		}
+		switch p.Type {
+		case PktRowFmt:
+			schema, err := UnmarshalRowFmt(p)
+			if err != nil {
+				return results, err
+			}
+			ensure().Schema = schema
+		case PktRow:
+			row, err := UnmarshalRow(p)
+			if err != nil {
+				return results, err
+			}
+			ensure().Rows = append(ensure().Rows, row)
+		case PktInfo:
+			msg, err := UnmarshalText(p)
+			if err != nil {
+				return results, err
+			}
+			ensure().Messages = append(ensure().Messages, msg)
+		case PktError:
+			msg, err := UnmarshalText(p)
+			if err != nil {
+				return results, err
+			}
+			srvErr = &ServerError{Msg: msg}
+		case PktDone:
+			n, err := UnmarshalDone(p)
+			if err != nil {
+				return results, err
+			}
+			ensure().RowsAffected = n
+			results = append(results, cur)
+			cur = nil
+		case PktDoneFinal:
+			if cur != nil {
+				results = append(results, cur)
+			}
+			return results, srvErr
+		default:
+			return results, fmt.Errorf("tds: unexpected token %s in response", p.Type)
+		}
+	}
+}
+
+// CopyResponse forwards tokens from src to dst until DONEFINAL without
+// materializing them — the gateway's pass-through path.
+func CopyResponse(dst io.Writer, src io.Reader) error {
+	for {
+		p, err := ReadPacket(src)
+		if err != nil {
+			return err
+		}
+		if err := WritePacket(dst, p); err != nil {
+			return err
+		}
+		if p.Type == PktDoneFinal {
+			return nil
+		}
+	}
+}
