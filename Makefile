@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz
+
+# The full pre-merge gate: static checks, a clean build, and the entire
+# test suite under the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing pass over the notification decoder (seed corpus always
+# runs under plain `make test`; this explores further).
+fuzz:
+	$(GO) test -fuzz=FuzzParseNotification -fuzztime=10s ./internal/agent

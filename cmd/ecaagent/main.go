@@ -8,6 +8,8 @@
 //
 //	ecaagent -server 127.0.0.1:5000 [-listen 127.0.0.1:6000]
 //	         [-notify 127.0.0.1:0] [-admin dbo]
+//	         [-retry-attempts 4] [-retry-base 25ms] [-retry-max 1s]
+//	         [-attempt-timeout 30s] [-resync 30s] [-drain 15s] [-dlq 128]
 //	         [-site name -ged host:port]
 package main
 
@@ -18,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/activedb/ecaagent/internal/agent"
 	"github.com/activedb/ecaagent/internal/ged"
@@ -29,6 +32,13 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:6000", "gateway address clients connect to")
 	notify := flag.String("notify", "127.0.0.1:0", "UDP address for trigger notifications")
 	admin := flag.String("admin", "dbo", "privileged login for the persistent manager")
+	retryAttempts := flag.Int("retry-attempts", 4, "attempts per upstream batch before giving up")
+	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "first retry backoff (doubles per retry)")
+	retryMax := flag.Duration("retry-max", time.Second, "retry backoff cap")
+	attemptTimeout := flag.Duration("attempt-timeout", 30*time.Second, "per-attempt upstream deadline (0 disables)")
+	resync := flag.Duration("resync", 30*time.Second, "period of the notification-loss recovery sweep (0 disables)")
+	drain := flag.Duration("drain", 15*time.Second, "shutdown deadline for in-flight rule actions")
+	dlqLimit := flag.Int("dlq", 128, "dead-letter queue capacity for failed rule actions")
 	site := flag.String("site", "", "site name for global event forwarding")
 	gedAddr := flag.String("ged", "", "address of a global event detector to forward to")
 	flag.Parse()
@@ -37,6 +47,15 @@ func main() {
 		Dial:       agent.TCPDialer(*serverAddr),
 		AdminUser:  *admin,
 		NotifyAddr: *notify,
+		Retry: agent.RetryConfig{
+			MaxAttempts:    *retryAttempts,
+			BaseDelay:      *retryBase,
+			MaxDelay:       *retryMax,
+			AttemptTimeout: *attemptTimeout,
+		},
+		ResyncInterval:  *resync,
+		DrainTimeout:    *drain,
+		DeadLetterLimit: *dlqLimit,
 	}
 	if *gedAddr != "" {
 		if *site == "" {

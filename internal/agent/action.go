@@ -3,6 +3,7 @@ package agent
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/activedb/ecaagent/internal/led"
 	"github.com/activedb/ecaagent/internal/sqltypes"
@@ -39,12 +40,11 @@ type actionHandler struct {
 	up Upstream
 }
 
-func newActionHandler(dial UpstreamDialer, admin string) (*actionHandler, error) {
-	up, err := dial(admin, "")
-	if err != nil {
-		return nil, fmt.Errorf("agent: action handler connection: %w", err)
-	}
-	return &actionHandler{up: up}, nil
+// newActionHandler takes ownership of an already-built upstream; the agent
+// hands it a retry-wrapped connection so a broken connection is redialed
+// instead of disabling every rule action.
+func newActionHandler(up Upstream) *actionHandler {
+	return &actionHandler{up: up}
 }
 
 func (h *actionHandler) close() { h.up.Close() }
@@ -115,4 +115,33 @@ func (h *actionHandler) invoke(p ActionParam, occ *led.Occ) ([]*sqltypes.ResultS
 		msgs = append(msgs, rs.Messages...)
 	}
 	return results, msgs, err
+}
+
+// deadLetterQueue is the bounded park for rule actions that failed
+// terminally: the upstream's retries were exhausted, or the server
+// answered with an error. When full, the oldest entry is evicted — recent
+// failures are worth more to an operator than ancient ones.
+type deadLetterQueue struct {
+	mu    sync.Mutex
+	buf   []ActionResult
+	limit int
+}
+
+func (q *deadLetterQueue) push(res ActionResult) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.limit <= 0 {
+		return
+	}
+	if len(q.buf) >= q.limit {
+		q.buf = append(q.buf[:0], q.buf[len(q.buf)-q.limit+1:]...)
+	}
+	q.buf = append(q.buf, res)
+}
+
+// snapshot copies the queue, oldest first.
+func (q *deadLetterQueue) snapshot() []ActionResult {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]ActionResult(nil), q.buf...)
 }

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/activedb/ecaagent/internal/led"
 	"github.com/activedb/ecaagent/internal/snoop"
@@ -41,6 +43,23 @@ type Config struct {
 	Forward func(p led.Primitive)
 	// Logf receives diagnostics; defaults to log.Printf.
 	Logf func(format string, args ...any)
+	// Retry tunes the resilient decorator wrapped around the agent's own
+	// upstream connections (Persistent Manager, Action Handler, recovery
+	// sweep). Zero values select the defaults in RetryConfig.
+	Retry RetryConfig
+	// ResyncInterval is the period of the watermark sweep that recovers
+	// notification losses no later datagram would reveal (see
+	// Agent.Resync). 0 disables the background sweep; Resync can still be
+	// called directly.
+	ResyncInterval time.Duration
+	// DrainTimeout bounds Close's wait for in-flight rule actions
+	// (default 15s). Actions still running at the deadline are abandoned:
+	// their upstream is closed underneath them and their failures are
+	// dead-lettered.
+	DrainTimeout time.Duration
+	// DeadLetterLimit bounds the dead-letter queue of failed actions
+	// (default 128); when full, the oldest entry is evicted.
+	DeadLetterLimit int
 }
 
 // eventInfo is the agent's registration record for one event.
@@ -95,6 +114,21 @@ type Agent struct {
 	// ctr holds the operational counters surfaced by Stats().
 	ctr counters
 
+	// rec tracks per-event delivery watermarks (gap detection), recUp is
+	// the privileged connection the resync sweep reads authoritative vNos
+	// over, and dlq parks terminally failed actions.
+	rec   tracker
+	recUp *retryUpstream
+	dlq   deadLetterQueue
+	// reportDropLogged gates the once-per-episode log when ActionDone
+	// overflows.
+	reportDropLogged atomic.Bool
+
+	// stopCh stops background goroutines; bgWG tracks them.
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	bgWG     sync.WaitGroup
+
 	gateway *gateway
 }
 
@@ -117,6 +151,12 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 15 * time.Second
+	}
+	if cfg.DeadLetterLimit <= 0 {
+		cfg.DeadLetterLimit = 128
+	}
 	a := &Agent{
 		cfg:             cfg,
 		led:             led.New(cfg.Clock),
@@ -124,23 +164,35 @@ func New(cfg Config) (*Agent, error) {
 		triggers:        make(map[string]*triggerInfo),
 		nativeByTableOp: make(map[string]string),
 		ActionDone:      make(chan ActionResult, cfg.ActionBuffer),
+		stopCh:          make(chan struct{}),
 	}
-	pm, err := newPersistentManager(cfg.Dial, cfg.AdminUser)
+	a.rec.seen = make(map[string]*eventWatermark)
+	a.dlq.limit = cfg.DeadLetterLimit
+	// The agent's own connections are wrapped in the retry decorator so one
+	// broken connection disables nothing: it is redialed with backoff, and
+	// only terminal (server-answered) errors surface.
+	dialAdmin := func() (Upstream, error) { return cfg.Dial(cfg.AdminUser, "") }
+	mkRetry := func(seedOffset int64) *retryUpstream {
+		rc := cfg.Retry
+		rc = rc.withDefaults()
+		rc.Seed += seedOffset
+		return newRetryUpstream(dialAdmin, rc, cfg.Logf,
+			func() { a.ctr.upstreamRetries.Add(1) },
+			func() { a.ctr.reconnects.Add(1) })
+	}
+	pm, err := newPersistentManager(mkRetry(0), cfg.AdminUser)
 	if err != nil {
 		return nil, err
 	}
 	a.pm = pm
-	actions, err := newActionHandler(cfg.Dial, cfg.AdminUser)
-	if err != nil {
-		pm.close()
-		return nil, err
-	}
-	a.actions = actions
+	a.actions = newActionHandler(mkRetry(1))
+	a.recUp = mkRetry(2)
 	if cfg.NotifyAddr != "-" {
 		n, err := startNotifier(a, cfg.NotifyAddr)
 		if err != nil {
 			pm.close()
-			actions.close()
+			a.actions.close()
+			a.recUp.Close()
 			return nil, err
 		}
 		a.notifier = n
@@ -149,22 +201,59 @@ func New(cfg Config) (*Agent, error) {
 		a.Close()
 		return nil, err
 	}
+	if cfg.ResyncInterval > 0 {
+		a.bgWG.Add(1)
+		go a.resyncLoop(cfg.ResyncInterval)
+	}
 	return a, nil
 }
 
-// Close shuts the agent down: gateway, notifier, in-flight actions, and
-// upstream connections.
+// Close shuts the agent down: gateway, notifier, background sweeps, then a
+// deadline-bounded drain of in-flight rule actions before the upstream
+// connections are released. Actions still running at the drain deadline are
+// abandoned — their connection is closed underneath them, which aborts the
+// call, and the resulting failures land in the dead-letter queue.
 func (a *Agent) Close() {
+	a.stopOnce.Do(func() { close(a.stopCh) })
 	if a.gateway != nil {
 		a.gateway.close()
 	}
 	if a.notifier != nil {
 		a.notifier.close()
 	}
-	a.actionWG.Wait()
-	a.led.Wait()
+	a.bgWG.Wait()
+	if !a.drain(a.cfg.DrainTimeout) {
+		a.cfg.Logf("agent: drain deadline %v exceeded; abandoning in-flight rule actions", a.cfg.DrainTimeout)
+	}
 	a.actions.close()
 	a.pm.close()
+	a.recUp.Close()
+}
+
+// drain waits for in-flight and detached rule actions, bounded by the
+// deadline. It reports whether everything finished in time.
+func (a *Agent) drain(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		a.led.Wait()
+		a.actionWG.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+// DeadLetters returns a snapshot of the dead-letter queue: rule actions
+// that failed terminally (or exhausted their retries), oldest first, up to
+// Config.DeadLetterLimit entries.
+func (a *Agent) DeadLetters() []ActionResult {
+	return a.dlq.snapshot()
 }
 
 // LED exposes the embedded local event detector (benchmarks and tests).
@@ -184,7 +273,9 @@ func (a *Agent) NotifyEndpoint() (string, int) {
 
 // Deliver injects one notification message, exactly as if it had arrived
 // on the UDP socket — the entry point for in-process deployments and the
-// UDP-vs-inproc ablation.
+// UDP-vs-inproc ablation. Delivery is at-least-once: duplicates are
+// suppressed by the per-event vNo watermark and gaps are replayed from it
+// (see recovery.go).
 func (a *Agent) Deliver(msg string) {
 	a.ctr.notifReceived.Add(1)
 	event, table, op, vno, err := parseNotification(msg)
@@ -193,11 +284,7 @@ func (a *Agent) Deliver(msg string) {
 		a.cfg.Logf("agent: dropping notification: %v", err)
 		return
 	}
-	p := led.Primitive{Event: event, Table: table, Op: op, VNo: vno}
-	a.led.Signal(p)
-	if a.cfg.Forward != nil {
-		a.cfg.Forward(p)
-	}
+	a.ingest(led.Primitive{Event: event, Table: table, Op: op, VNo: vno})
 }
 
 // FlushDeferred executes queued DEFERRED rule actions (transaction
@@ -325,6 +412,8 @@ func (a *Agent) createPrimitive(db, user, trigName, eventName string, def *Trigg
 		Name: eventName, DB: db, User: user, Primitive: true, Table: table, Op: def.Operation,
 	}
 	a.nativeByTableOp[slot] = eventName
+	// Start the delivery watermark at the freshly persisted vNo of 0.
+	a.trackEvent(eventName, table, string(def.Operation), 0)
 
 	msgs, err := a.installRule(db, user, trigName, eventName, def)
 	if err != nil {
@@ -476,13 +565,25 @@ func (a *Agent) runAction(rule string, p ActionParam, occ *led.Occ, prev, done c
 	}
 	results, msgs, err := a.actions.invoke(p, occ)
 	a.ctr.actionsRun.Add(1)
+	res := ActionResult{Rule: rule, Event: occ.Event, Occ: occ, Messages: msgs, Results: results, Err: err}
 	if err != nil {
 		a.ctr.actionsFailed.Add(1)
 		a.cfg.Logf("agent: action %s on %s failed: %v", p.StoreProc, p.EventName, err)
+		// The upstream already retried transient failures; what reaches
+		// here is terminal, so park it for inspection or manual replay.
+		a.ctr.deadLettered.Add(1)
+		a.dlq.push(res)
 	}
 	select {
-	case a.ActionDone <- ActionResult{Rule: rule, Event: occ.Event, Occ: occ, Messages: msgs, Results: results, Err: err}:
-	default: // observational channel full — drop the report
+	case a.ActionDone <- res:
+		a.reportDropLogged.Store(false)
+	default:
+		// Observational channel full — drop the report, but never
+		// silently: count it, and log once per overflow episode.
+		a.ctr.reportsDropped.Add(1)
+		if a.reportDropLogged.CompareAndSwap(false, true) {
+			a.cfg.Logf("agent: ActionDone buffer full; dropping completed-action reports (see Stats.ActionReportsDropped)")
+		}
 	}
 }
 
@@ -535,6 +636,10 @@ func (a *Agent) recover() error {
 		if err == nil {
 			a.nativeByTableOp[strings.ToLower(p.DB+"|"+tobj+"|"+p.Op)] = p.Name
 		}
+		// Adopt the authoritative vNo as the delivery watermark: the LED
+		// state that pre-restart occurrences fed is gone, so they are not
+		// replayed — at-least-once holds from this point forward.
+		a.trackEvent(p.Name, p.Table, p.Op, p.VNo)
 		// The persisted native trigger embeds the *previous* agent
 		// instance's notification endpoint; regenerate it with ours (the
 		// server's silent trigger overwrite makes this a clean replace).

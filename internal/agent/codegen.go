@@ -194,18 +194,39 @@ func notifyPrefix(event, table, op string) string {
 	return fmt.Sprintf("ECA1|%s|%s|%s|", event, table, op)
 }
 
-// parseNotification decodes a notification datagram.
+// maxNotificationLen bounds accepted datagrams. Real notifications are a
+// few hundred bytes (three internal names plus a vNo); anything bigger is
+// garbage or an attack, not a trigger message.
+const maxNotificationLen = 4096
+
+// parseNotification decodes a notification datagram. Truncated, oversized
+// and duplicate-field messages are rejected (the caller counts them in
+// NotificationsDropped); the vNo must be a non-empty decimal that fits an
+// int.
 func parseNotification(msg string) (event, table, op string, vno int, err error) {
+	if len(msg) > maxNotificationLen {
+		return "", "", "", 0, fmt.Errorf("agent: oversized notification (%d bytes)", len(msg))
+	}
 	parts := strings.Split(strings.TrimSpace(msg), "|")
 	if len(parts) != 5 || parts[0] != "ECA1" {
 		return "", "", "", 0, fmt.Errorf("agent: malformed notification %q", msg)
+	}
+	if parts[1] == "" || parts[2] == "" || parts[3] == "" {
+		return "", "", "", 0, fmt.Errorf("agent: empty field in notification %q", msg)
+	}
+	if parts[4] == "" {
+		return "", "", "", 0, fmt.Errorf("agent: missing vNo in notification %q", msg)
 	}
 	n := 0
 	for _, r := range parts[4] {
 		if r < '0' || r > '9' {
 			return "", "", "", 0, fmt.Errorf("agent: bad vNo in notification %q", msg)
 		}
-		n = n*10 + int(r-'0')
+		d := int(r - '0')
+		if n > (int(^uint(0)>>1)-d)/10 {
+			return "", "", "", 0, fmt.Errorf("agent: vNo overflow in notification %q", msg)
+		}
+		n = n*10 + d
 	}
 	return parts[1], parts[2], parts[3], n, nil
 }

@@ -1,0 +1,75 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+)
+
+// Malformed datagrams — truncated, oversized, duplicate-field, junk vNo —
+// must be counted in NotificationsDropped and never panic or reach the LED.
+func TestParseNotificationRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  string
+	}{
+		{"empty", ""},
+		{"wrong magic", "ECA2|e|t|insert|1"},
+		{"truncated after magic", "ECA1"},
+		{"truncated missing vNo field", "ECA1|e|t|insert"},
+		{"truncated mid-field", "ECA1|e|t|ins"},
+		{"duplicate field", "ECA1|e|t|insert|1|1"},
+		{"duplicate event field", "ECA1|e|e|t|insert|1"},
+		{"oversized", "ECA1|" + strings.Repeat("x", maxNotificationLen) + "|t|insert|1"},
+		{"empty event", "ECA1||t|insert|1"},
+		{"empty table", "ECA1|e||insert|1"},
+		{"empty op", "ECA1|e|t||1"},
+		{"empty vNo", "ECA1|e|t|insert|"},
+		{"junk vNo", "ECA1|e|t|insert|12x"},
+		{"negative vNo", "ECA1|e|t|insert|-1"},
+		{"vNo overflow", "ECA1|e|t|insert|99999999999999999999999"},
+	}
+	r := newRig(t)
+	before := r.agent.Stats()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, _, err := parseNotification(tc.msg); err == nil {
+				t.Errorf("parseNotification(%q) accepted", tc.msg)
+			}
+			r.agent.Deliver(tc.msg)
+		})
+	}
+	after := r.agent.Stats()
+	if got := after.NotificationsDropped - before.NotificationsDropped; got != uint64(len(cases)) {
+		t.Errorf("NotificationsDropped advanced by %d, want %d", got, len(cases))
+	}
+	if after.NotificationsReceived-before.NotificationsReceived != uint64(len(cases)) {
+		t.Errorf("NotificationsReceived: %+v", after)
+	}
+}
+
+func TestParseNotificationAcceptsWellFormed(t *testing.T) {
+	event, table, op, vno, err := parseNotification("ECA1|db.u.ev|db.u.tbl|insert|42\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if event != "db.u.ev" || table != "db.u.tbl" || op != "insert" || vno != 42 {
+		t.Errorf("decoded %q %q %q %d", event, table, op, vno)
+	}
+}
+
+// FuzzParseNotification drives the decoder with arbitrary datagrams; it
+// must reject or decode, never panic, and a decoded vNo is never negative.
+func FuzzParseNotification(f *testing.F) {
+	f.Add("ECA1|db.u.ev|db.u.tbl|insert|42")
+	f.Add("ECA1|e|t|insert|1|1")
+	f.Add("ECA1|e|t|insert")
+	f.Add("ECA1||||")
+	f.Add(strings.Repeat("|", 100))
+	f.Add("ECA1|e|t|insert|99999999999999999999999")
+	f.Fuzz(func(t *testing.T, msg string) {
+		_, _, _, vno, err := parseNotification(msg)
+		if err == nil && vno < 0 {
+			t.Errorf("accepted negative vNo %d from %q", vno, msg)
+		}
+	})
+}

@@ -20,11 +20,10 @@ type persistentManager struct {
 	ensured map[string]bool
 }
 
-func newPersistentManager(dial UpstreamDialer, admin string) (*persistentManager, error) {
-	up, err := dial(admin, "")
-	if err != nil {
-		return nil, fmt.Errorf("agent: persistent manager connection: %w", err)
-	}
+// newPersistentManager takes ownership of an already-built upstream (the
+// agent hands it a retry-wrapped connection, so transient dial and
+// connection failures are absorbed before errors reach here).
+func newPersistentManager(up Upstream, admin string) (*persistentManager, error) {
 	pm := &persistentManager{up: up, admin: admin, ensured: make(map[string]bool)}
 	if err := execIgnoreExists(up, []string{"use master\n" + registryDDL}); err != nil {
 		up.Close()
@@ -110,6 +109,7 @@ func (pm *persistentManager) deleteTrigger(db, trigger string) error {
 type persistedEvent struct {
 	DB, User, Name string
 	Table, Op      string // primitive only
+	VNo            int    // primitive only: authoritative occurrence count
 	Expr           string // composite only
 	At             time.Time
 }
@@ -138,14 +138,15 @@ func (pm *persistentManager) loadAll() (prims []persistedEvent, comps []persiste
 		pm.ensured[db] = true
 
 		rs, err = pm.up.Exec(fmt.Sprintf(
-			"use %s select dbName, userName, eventName, tableName, operation from %s", db, TabPrimitiveEvent))
+			"use %s select dbName, userName, eventName, tableName, operation, vNo from %s", db, TabPrimitiveEvent))
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("agent: restoring primitive events from %s: %w", db, err)
 		}
 		forEachRow(rs, func(r sqltypes.Row) {
+			vno, _ := r[5].AsInt()
 			prims = append(prims, persistedEvent{
 				DB: r[0].AsString(), User: r[1].AsString(), Name: r[2].AsString(),
-				Table: r[3].AsString(), Op: r[4].AsString(),
+				Table: r[3].AsString(), Op: r[4].AsString(), VNo: int(vno),
 			})
 		})
 

@@ -1,0 +1,248 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/sqltypes"
+	"github.com/activedb/ecaagent/internal/tds"
+)
+
+// RetryConfig tunes the resilient decorator wrapped around the agent's own
+// upstream connections (Persistent Manager, Action Handler, recovery
+// sweep). Client pass-through connections are NOT retried: replaying a
+// client's batch without the client's knowledge would break transaction
+// transparency.
+type RetryConfig struct {
+	// MaxAttempts bounds tries per Exec, including the first (default 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff; it doubles per retry (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// AttemptTimeout aborts a single attempt that hangs by closing its
+	// connection (0 disables the deadline).
+	AttemptTimeout time.Duration
+	// Seed drives the backoff jitter deterministically (default 1).
+	Seed int64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 25 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// errAttemptTimeout marks an attempt aborted by the per-attempt deadline.
+var errAttemptTimeout = errors.New("agent: upstream attempt deadline exceeded")
+
+// retryableError classifies an Exec failure: connection-level failures are
+// retryable on a fresh connection; an answer from the server — even an
+// error answer — is terminal, because the server already processed the
+// batch and retrying would execute the action twice.
+func retryableError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *tds.ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	if errors.Is(err, errAttemptTimeout) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// retryUpstream decorates an Upstream with reconnect-on-failure,
+// exponential backoff with jitter, per-attempt deadlines and
+// retryable-vs-terminal error classification — the piece that keeps one
+// broken Open Client connection from disabling every rule action.
+type retryUpstream struct {
+	dial        func() (Upstream, error)
+	cfg         RetryConfig
+	onRetry     func()
+	onReconnect func()
+	logf        func(format string, args ...any)
+
+	// execMu serializes Exec calls (each handler owns one logical
+	// connection, as in the paper's one-connection-per-module design).
+	execMu sync.Mutex
+	rng    *rand.Rand
+
+	// connMu guards the live connection separately from execMu so Close
+	// can reach a connection whose Exec is blocked.
+	connMu sync.Mutex
+	up     Upstream
+	dialed bool
+	closed bool
+}
+
+func newRetryUpstream(dial func() (Upstream, error), cfg RetryConfig, logf func(string, ...any), onRetry, onReconnect func()) *retryUpstream {
+	cfg = cfg.withDefaults()
+	return &retryUpstream{
+		dial:        dial,
+		cfg:         cfg,
+		onRetry:     onRetry,
+		onReconnect: onReconnect,
+		logf:        logf,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// conn returns the live connection, dialing a fresh one if needed.
+func (r *retryUpstream) conn() (Upstream, error) {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	if r.closed {
+		return nil, net.ErrClosed
+	}
+	if r.up != nil {
+		return r.up, nil
+	}
+	up, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	r.up = up
+	if r.dialed {
+		if r.onReconnect != nil {
+			r.onReconnect()
+		}
+		if r.logf != nil {
+			r.logf("agent: upstream reconnected")
+		}
+	}
+	r.dialed = true
+	return up, nil
+}
+
+// dropConn discards a connection observed failing (if still current).
+func (r *retryUpstream) dropConn(up Upstream) {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	if r.up == up && up != nil {
+		up.Close()
+		r.up = nil
+	}
+}
+
+// Exec runs one batch with retries. Terminal errors (the server answered)
+// return immediately; connection failures reconnect and retry with
+// exponential backoff until MaxAttempts is exhausted.
+func (r *retryUpstream) Exec(sql string) ([]*sqltypes.ResultSet, error) {
+	r.execMu.Lock()
+	defer r.execMu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if r.onRetry != nil {
+				r.onRetry()
+			}
+			time.Sleep(r.backoff(attempt))
+		}
+		up, err := r.conn()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) && r.isClosed() {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		results, err := r.execAttempt(up, sql)
+		if err == nil || !retryableError(err) {
+			return results, err
+		}
+		lastErr = err
+		r.dropConn(up)
+		if r.isClosed() {
+			break
+		}
+	}
+	return nil, fmt.Errorf("agent: upstream failed after %d attempts: %w", r.cfg.MaxAttempts, lastErr)
+}
+
+// execAttempt runs one try, bounded by the per-attempt deadline. A timed
+// out attempt's connection is closed to unblock the in-flight call — the
+// only abort an Open Client style blocking API offers.
+func (r *retryUpstream) execAttempt(up Upstream, sql string) ([]*sqltypes.ResultSet, error) {
+	if r.cfg.AttemptTimeout <= 0 {
+		return up.Exec(sql)
+	}
+	type outcome struct {
+		rs  []*sqltypes.ResultSet
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rs, err := up.Exec(sql)
+		done <- outcome{rs, err}
+	}()
+	timer := time.NewTimer(r.cfg.AttemptTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		return out.rs, out.err
+	case <-timer.C:
+		up.Close() // unblocks the hung Exec
+		<-done     // wait so no goroutine still touches the dead conn
+		return nil, fmt.Errorf("%w (%v)", errAttemptTimeout, r.cfg.AttemptTimeout)
+	}
+}
+
+// backoff returns the jittered exponential delay before the given attempt
+// (attempt ≥ 1): the n-th retry waits in [d/2, d] with d = base·2^(n-1)
+// capped at MaxDelay.
+func (r *retryUpstream) backoff(attempt int) time.Duration {
+	d := r.cfg.BaseDelay << uint(attempt-1)
+	if d <= 0 || d > r.cfg.MaxDelay {
+		d = r.cfg.MaxDelay
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(r.rng.Int63n(int64(half)+1))
+}
+
+func (r *retryUpstream) isClosed() bool {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	return r.closed
+}
+
+// Close shuts the decorator down, unblocking any hung attempt by closing
+// the live connection out from under it.
+func (r *retryUpstream) Close() error {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	r.closed = true
+	if r.up != nil {
+		r.up.Close()
+		r.up = nil
+	}
+	return nil
+}

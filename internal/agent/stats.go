@@ -11,6 +11,16 @@ type Stats struct {
 	NotificationsReceived uint64
 	// NotificationsDropped counts malformed datagrams discarded.
 	NotificationsDropped uint64
+	// NotificationsDuplicate counts datagrams suppressed by the delivery
+	// watermark (UDP duplicates, or reordered datagrams whose gap was
+	// already replayed).
+	NotificationsDuplicate uint64
+	// GapsDetected counts vNo gaps the recovery tracker observed, either
+	// in-stream or during a resync sweep.
+	GapsDetected uint64
+	// OccurrencesRecovered counts primitive occurrences replayed into the
+	// LED after being lost on the notification path.
+	OccurrencesRecovered uint64
 	// ECACommands counts CREATE/DROP trigger commands the Language Filter
 	// intercepted.
 	ECACommands uint64
@@ -20,26 +30,54 @@ type Stats struct {
 	ActionsRun uint64
 	// ActionsFailed counts rule actions whose procedure returned an error.
 	ActionsFailed uint64
+	// ActionsDeadLettered counts failed actions parked in the dead-letter
+	// queue after the upstream's retries were exhausted or the error was
+	// terminal.
+	ActionsDeadLettered uint64
+	// ActionReportsDropped counts completed-action reports discarded
+	// because the ActionDone buffer was full (rule execution itself is
+	// unaffected; only the observational report is lost).
+	ActionReportsDropped uint64
+	// UpstreamRetries counts re-attempts of upstream batches after
+	// retryable connection failures.
+	UpstreamRetries uint64
+	// UpstreamReconnects counts fresh connections dialed to replace a
+	// broken one.
+	UpstreamReconnects uint64
 }
 
 // counters holds the live atomic counters.
 type counters struct {
-	notifReceived atomic.Uint64
-	notifDropped  atomic.Uint64
-	ecaCommands   atomic.Uint64
-	passThrough   atomic.Uint64
-	actionsRun    atomic.Uint64
-	actionsFailed atomic.Uint64
+	notifReceived   atomic.Uint64
+	notifDropped    atomic.Uint64
+	notifDuplicate  atomic.Uint64
+	gapsDetected    atomic.Uint64
+	occRecovered    atomic.Uint64
+	ecaCommands     atomic.Uint64
+	passThrough     atomic.Uint64
+	actionsRun      atomic.Uint64
+	actionsFailed   atomic.Uint64
+	deadLettered    atomic.Uint64
+	reportsDropped  atomic.Uint64
+	upstreamRetries atomic.Uint64
+	reconnects      atomic.Uint64
 }
 
 // Stats returns a consistent-enough snapshot of the counters.
 func (a *Agent) Stats() Stats {
 	return Stats{
-		NotificationsReceived: a.ctr.notifReceived.Load(),
-		NotificationsDropped:  a.ctr.notifDropped.Load(),
-		ECACommands:           a.ctr.ecaCommands.Load(),
-		PassThroughBatches:    a.ctr.passThrough.Load(),
-		ActionsRun:            a.ctr.actionsRun.Load(),
-		ActionsFailed:         a.ctr.actionsFailed.Load(),
+		NotificationsReceived:  a.ctr.notifReceived.Load(),
+		NotificationsDropped:   a.ctr.notifDropped.Load(),
+		NotificationsDuplicate: a.ctr.notifDuplicate.Load(),
+		GapsDetected:           a.ctr.gapsDetected.Load(),
+		OccurrencesRecovered:   a.ctr.occRecovered.Load(),
+		ECACommands:            a.ctr.ecaCommands.Load(),
+		PassThroughBatches:     a.ctr.passThrough.Load(),
+		ActionsRun:             a.ctr.actionsRun.Load(),
+		ActionsFailed:          a.ctr.actionsFailed.Load(),
+		ActionsDeadLettered:    a.ctr.deadLettered.Load(),
+		ActionReportsDropped:   a.ctr.reportsDropped.Load(),
+		UpstreamRetries:        a.ctr.upstreamRetries.Load(),
+		UpstreamReconnects:     a.ctr.reconnects.Load(),
 	}
 }

@@ -1,6 +1,9 @@
 package agent
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestStatsCounters(t *testing.T) {
 	r := newRig(t)
@@ -56,5 +59,56 @@ func TestStatsCounters(t *testing.T) {
 	}
 	if got := r.agent.Stats().ECACommands; got != 3 {
 		t.Errorf("ECACommands after drop = %d", got)
+	}
+}
+
+// TestResilienceStatsSnapshot covers the recovery and dead-letter counters
+// the fault-tolerant pipeline added to Stats.
+func TestResilienceStatsSnapshot(t *testing.T) {
+	var mu sync.Mutex
+	var logs []string
+	r := newChaosRig(t, nil, func(cfg *Config) {
+		cfg.ActionBuffer = 1
+		cfg.Logf = func(format string, args ...any) {
+			mu.Lock()
+			logs = append(logs, format)
+			mu.Unlock()
+		}
+	})
+	cs := r.session(t, "sharma", "sentineldb")
+	if _, err := cs.Exec("create trigger t on stock for insert event addStk as print 'x'"); err != nil {
+		t.Fatal(err)
+	}
+	ev, tbl := "sentineldb.sharma.addStk", "sentineldb.sharma.stock"
+	// vNo 2 first: a gap (1 replayed), then 2; vNo 1 late: a duplicate.
+	r.agent.Deliver(notifMsg(ev, tbl, "insert", 2))
+	r.agent.Deliver(notifMsg(ev, tbl, "insert", 1))
+	r.agent.WaitActions()
+
+	st := r.agent.Stats()
+	if st.GapsDetected != 1 || st.OccurrencesRecovered != 1 || st.NotificationsDuplicate != 1 {
+		t.Errorf("recovery counters: %+v", st)
+	}
+	if st.ActionsRun != 2 {
+		t.Errorf("ActionsRun = %d", st.ActionsRun)
+	}
+	// Two actions completed against a 1-slot ActionDone buffer that nobody
+	// reads: exactly one report was dropped, counted, and logged once.
+	if st.ActionReportsDropped != 1 {
+		t.Errorf("ActionReportsDropped = %d", st.ActionReportsDropped)
+	}
+	mu.Lock()
+	drops := 0
+	for _, l := range logs {
+		if l == "agent: ActionDone buffer full; dropping completed-action reports (see Stats.ActionReportsDropped)" {
+			drops++
+		}
+	}
+	mu.Unlock()
+	if drops != 1 {
+		t.Errorf("drop episode logged %d times", drops)
+	}
+	if st.ActionsDeadLettered != 0 || st.UpstreamRetries != 0 || st.UpstreamReconnects != 0 {
+		t.Errorf("unexpected failure counters on clean run: %+v", st)
 	}
 }

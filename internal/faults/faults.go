@@ -1,0 +1,214 @@
+// Package faults provides seeded, deterministic fault injection for the
+// agent's two lossy seams: the Open Client style upstream connections
+// (Action Handler, Persistent Manager) and the UDP notification path into
+// the Event Notifier. Every resilience guarantee the agent claims is proven
+// by tests that use this package to actually drop, duplicate, reorder and
+// kill things on a reproducible schedule.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+
+	"github.com/activedb/ecaagent/internal/sqltypes"
+)
+
+// Fault is one injected behavior for a single upstream call.
+type Fault int
+
+const (
+	// None lets the call through to the wrapped upstream.
+	None Fault = iota
+	// Error fails the call with a transient connection-reset error before
+	// it reaches the wrapped upstream (the server never saw it).
+	Error
+	// Hang blocks the call until the upstream is closed, then fails it —
+	// the stalled-connection case a per-attempt deadline must abort.
+	Hang
+	// Disconnect fails the call and kills the wrapped connection: every
+	// later call on the same connection fails until the dialer is asked
+	// for a fresh one.
+	Disconnect
+)
+
+// String names the fault for logs and test failure messages.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Error:
+		return "error"
+	case Hang:
+		return "hang"
+	case Disconnect:
+		return "disconnect"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// Schedule decides the fault injected into the n-th armed call (0-based).
+// The call counter is shared across reconnects, so a schedule describes the
+// whole life of a logical connection, not one physical dial.
+type Schedule func(call int) Fault
+
+// Script injects the listed faults in order, then None forever.
+func Script(faults ...Fault) Schedule {
+	return func(call int) Fault {
+		if call < len(faults) {
+			return faults[call]
+		}
+		return None
+	}
+}
+
+// Cycle repeats the listed faults round-robin forever.
+func Cycle(faults ...Fault) Schedule {
+	return func(call int) Fault {
+		if len(faults) == 0 {
+			return None
+		}
+		return faults[call%len(faults)]
+	}
+}
+
+// Bernoulli injects f on each call with the given probability, driven by a
+// seeded generator so runs are reproducible.
+func Bernoulli(seed int64, rate float64, f Fault) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func(int) Fault {
+		mu.Lock()
+		defer mu.Unlock()
+		if rng.Float64() < rate {
+			return f
+		}
+		return None
+	}
+}
+
+// Upstream is the structural twin of agent.Upstream, declared here so the
+// package stays free of an agent dependency (and usable against any
+// connection-shaped thing).
+type Upstream interface {
+	Exec(sql string) ([]*sqltypes.ResultSet, error)
+	Close() error
+}
+
+// Injector owns a fault schedule and the call counter that survives
+// reconnects. Wrap every connection of one logical upstream with the same
+// Injector and the schedule plays out across redials.
+//
+// An Injector starts disarmed: calls pass through without consuming the
+// schedule, so test setup traffic (rule creation, bootstrap DDL) does not
+// shift the fault positions. Arm it when the chaos phase begins.
+type Injector struct {
+	mu    sync.Mutex
+	sched Schedule
+	calls int
+	armed bool
+}
+
+// NewInjector returns a disarmed injector over the schedule.
+func NewInjector(sched Schedule) *Injector {
+	if sched == nil {
+		sched = Script()
+	}
+	return &Injector{sched: sched}
+}
+
+// Arm starts consuming the schedule.
+func (i *Injector) Arm() {
+	i.mu.Lock()
+	i.armed = true
+	i.mu.Unlock()
+}
+
+// Disarm stops injecting; calls pass through again.
+func (i *Injector) Disarm() {
+	i.mu.Lock()
+	i.armed = false
+	i.mu.Unlock()
+}
+
+// Calls reports how many armed calls have consumed the schedule.
+func (i *Injector) Calls() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.calls
+}
+
+// next consumes one schedule slot (when armed).
+func (i *Injector) next() Fault {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if !i.armed {
+		return None
+	}
+	f := i.sched(i.calls)
+	i.calls++
+	return f
+}
+
+// Wrap decorates one dialed connection with this injector's schedule.
+func (i *Injector) Wrap(inner Upstream) *FaultyUpstream {
+	return &FaultyUpstream{inj: i, inner: inner, closed: make(chan struct{})}
+}
+
+// FaultyUpstream is an Upstream decorator that misbehaves on the wrapping
+// Injector's schedule. Injected failures happen *before* the wrapped call,
+// modelling a connection that died in transit: the server never executed
+// the batch, so a retried call runs it exactly once.
+type FaultyUpstream struct {
+	inj   *Injector
+	inner Upstream
+
+	mu        sync.Mutex
+	dead      bool
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// errDisconnected wraps net.ErrClosed so the agent's retryable-error
+// classification recognizes it without importing this package.
+func errDisconnected(why string) error {
+	return fmt.Errorf("faults: %s: %w", why, net.ErrClosed)
+}
+
+// Exec applies the scheduled fault, passing clean calls to the wrapped
+// upstream.
+func (u *FaultyUpstream) Exec(sql string) ([]*sqltypes.ResultSet, error) {
+	u.mu.Lock()
+	dead := u.dead
+	u.mu.Unlock()
+	if dead {
+		return nil, errDisconnected("connection is down")
+	}
+	select {
+	case <-u.closed:
+		return nil, errDisconnected("upstream closed")
+	default:
+	}
+	switch u.inj.next() {
+	case Error:
+		return nil, fmt.Errorf("faults: injected transient error: %w", syscall.ECONNRESET)
+	case Disconnect:
+		u.mu.Lock()
+		u.dead = true
+		u.mu.Unlock()
+		return nil, errDisconnected("injected disconnect")
+	case Hang:
+		<-u.closed // block until someone closes the connection
+		return nil, errDisconnected("hung call aborted by close")
+	}
+	return u.inner.Exec(sql)
+}
+
+// Close closes the wrapped connection and releases any hung calls.
+func (u *FaultyUpstream) Close() error {
+	u.closeOnce.Do(func() { close(u.closed) })
+	return u.inner.Close()
+}

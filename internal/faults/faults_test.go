@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/sqltypes"
+)
+
+// okUp is a trivially healthy upstream.
+type okUp struct {
+	mu    sync.Mutex
+	execs int
+}
+
+func (u *okUp) Exec(sql string) ([]*sqltypes.ResultSet, error) {
+	u.mu.Lock()
+	u.execs++
+	u.mu.Unlock()
+	return nil, nil
+}
+func (u *okUp) Close() error { return nil }
+
+func (u *okUp) count() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.execs
+}
+
+func TestSchedules(t *testing.T) {
+	s := Script(Error, Hang)
+	if s(0) != Error || s(1) != Hang || s(2) != None || s(100) != None {
+		t.Error("Script order wrong")
+	}
+	c := Cycle(None, Disconnect)
+	if c(0) != None || c(1) != Disconnect || c(2) != None || c(3) != Disconnect {
+		t.Error("Cycle order wrong")
+	}
+	// Bernoulli is deterministic for a fixed seed.
+	a, b := Bernoulli(7, 0.5, Error), Bernoulli(7, 0.5, Error)
+	for i := 0; i < 100; i++ {
+		if a(i) != b(i) {
+			t.Fatalf("Bernoulli diverged at call %d", i)
+		}
+	}
+}
+
+func TestInjectorArming(t *testing.T) {
+	inj := NewInjector(Script(Error))
+	up := inj.Wrap(&okUp{})
+	// Disarmed: the schedule is not consumed.
+	if _, err := up.Exec("x"); err != nil {
+		t.Fatalf("disarmed call failed: %v", err)
+	}
+	if inj.Calls() != 0 {
+		t.Fatalf("disarmed call consumed schedule: %d", inj.Calls())
+	}
+	inj.Arm()
+	if _, err := up.Exec("x"); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("armed Error fault: got %v", err)
+	}
+	if _, err := up.Exec("x"); err != nil {
+		t.Fatalf("post-script call failed: %v", err)
+	}
+	inj.Disarm()
+	calls := inj.Calls()
+	if _, err := up.Exec("x"); err != nil || inj.Calls() != calls {
+		t.Fatal("disarm did not stop consumption")
+	}
+}
+
+func TestDisconnectKillsConnection(t *testing.T) {
+	inj := NewInjector(Script(Disconnect))
+	inj.Arm()
+	inner := &okUp{}
+	up := inj.Wrap(inner)
+	if _, err := up.Exec("x"); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("disconnect fault: got %v", err)
+	}
+	// The connection stays dead without consuming more schedule.
+	if _, err := up.Exec("x"); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("dead connection answered: %v", err)
+	}
+	if inner.count() != 0 {
+		t.Fatalf("inner executed %d times through a dead connection", inner.count())
+	}
+	// A freshly wrapped (redialed) connection works again.
+	if _, err := inj.Wrap(&okUp{}).Exec("x"); err != nil {
+		t.Fatalf("fresh connection after disconnect: %v", err)
+	}
+}
+
+func TestHangReleasedByClose(t *testing.T) {
+	inj := NewInjector(Script(Hang))
+	inj.Arm()
+	up := inj.Wrap(&okUp{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := up.Exec("x")
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("hung call returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	up.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("aborted hang error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not release the hung call")
+	}
+}
+
+func TestPipeDeterministicDropDupReorder(t *testing.T) {
+	run := func() (got []string, dropped, duped int) {
+		p := NewPipe(PipeConfig{Seed: 42, DropRate: 0.3, DupRate: 0.2, ReorderEvery: 3}, func(m string) {
+			got = append(got, m)
+		})
+		for _, m := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+			p.Send(m)
+		}
+		p.Flush()
+		return got, p.Dropped(), p.Duplicated()
+	}
+	got1, d1, u1 := run()
+	got2, d2, u2 := run()
+	if len(got1) != len(got2) || d1 != d2 || u1 != u2 {
+		t.Fatalf("pipe not deterministic: %v/%d/%d vs %v/%d/%d", got1, d1, u1, got2, d2, u2)
+	}
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("pipe order not deterministic: %v vs %v", got1, got2)
+		}
+	}
+	if d1+len(got1)-u1 != 8 {
+		t.Errorf("conservation: delivered %d, dropped %d, duped %d of 8", len(got1), d1, u1)
+	}
+}
+
+func TestPipeInOrderWhenNoFaults(t *testing.T) {
+	var got []string
+	p := NewPipe(PipeConfig{Seed: 1}, func(m string) { got = append(got, m) })
+	p.Send("1")
+	p.Send("2")
+	p.Flush()
+	if len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Fatalf("clean pipe reordered: %v", got)
+	}
+}

@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// PipeConfig tunes a lossy notification path. Rates are probabilities in
+// [0, 1]; the seeded generator makes every run reproducible.
+type PipeConfig struct {
+	Seed         int64
+	DropRate     float64 // fraction of messages silently discarded
+	DupRate      float64 // fraction of delivered messages sent twice
+	ReorderEvery int     // shuffle delivery order within windows of this size (0/1 = in order)
+}
+
+// Pipe models the UDP hop between the server's syb_sendmsg and the agent's
+// Event Notifier: messages can be dropped, duplicated and reordered, but
+// never corrupted in flight (the datagram either arrives whole or not at
+// all). Hook its Send in front of Agent.Deliver to make the best-effort
+// seam explicit and testable.
+type Pipe struct {
+	cfg     PipeConfig
+	deliver func(msg string)
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	window  []string
+	dropped int
+	duped   int
+}
+
+// NewPipe returns a pipe that forwards surviving messages to deliver.
+func NewPipe(cfg PipeConfig, deliver func(msg string)) *Pipe {
+	return &Pipe{cfg: cfg, deliver: deliver, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Send puts one message through the faulty path.
+func (p *Pipe) Send(msg string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng.Float64() < p.cfg.DropRate {
+		p.dropped++
+		return
+	}
+	copies := 1
+	if p.rng.Float64() < p.cfg.DupRate {
+		copies = 2
+		p.duped++
+	}
+	for i := 0; i < copies; i++ {
+		p.window = append(p.window, msg)
+	}
+	if p.cfg.ReorderEvery > 1 && len(p.window) < p.cfg.ReorderEvery {
+		return // hold for the reorder window
+	}
+	p.flushLocked()
+}
+
+// Flush delivers anything still held in the reorder window.
+func (p *Pipe) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushLocked()
+}
+
+func (p *Pipe) flushLocked() {
+	if p.cfg.ReorderEvery > 1 {
+		p.rng.Shuffle(len(p.window), func(i, j int) {
+			p.window[i], p.window[j] = p.window[j], p.window[i]
+		})
+	}
+	for _, m := range p.window {
+		p.deliver(m)
+	}
+	p.window = p.window[:0]
+}
+
+// Dropped reports how many messages the pipe discarded.
+func (p *Pipe) Dropped() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Duplicated reports how many messages the pipe delivered twice.
+func (p *Pipe) Duplicated() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.duped
+}

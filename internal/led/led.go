@@ -435,16 +435,21 @@ func (l *LED) runRule(f firing) {
 // this at transaction boundaries).
 func (l *LED) FlushDeferred() {
 	l.mu.Lock()
-	queued := l.deferred
+	// Filter disabled rules under the lock: DropRule flips disabled while
+	// holding mu, so reading it outside would race.
+	queued := l.deferred[:0]
+	for _, f := range l.deferred {
+		if !f.rule.disabled {
+			queued = append(queued, f)
+		}
+	}
 	l.deferred = nil
 	l.mu.Unlock()
 	sort.SliceStable(queued, func(i, j int) bool {
 		return queued[i].rule.Priority > queued[j].rule.Priority
 	})
 	for _, f := range queued {
-		if !f.rule.disabled {
-			l.runRule(f)
-		}
+		l.runRule(f)
 	}
 }
 
