@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz
+.PHONY: check fmt vet build test race fuzz metrics-smoke
 
 # The full pre-merge gate: static checks, a clean build, and the entire
 # test suite under the race detector.
-check: vet build race
+check: fmt vet build race
+
+# gofmt -l prints nonconforming files; any output fails the gate.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +27,24 @@ race:
 # runs under plain `make test`; this explores further).
 fuzz:
 	$(GO) test -fuzz=FuzzParseNotification -fuzztime=10s ./internal/agent
+
+# Live smoke test of the observability surface: stand up sqlserverd and
+# ecaagent -http, then require a 200 with a non-empty Prometheus
+# exposition from /metrics and a 200 from /healthz.
+SMOKE_SERVER := 127.0.0.1:16950
+SMOKE_GATEWAY := 127.0.0.1:16951
+SMOKE_HTTP := 127.0.0.1:16952
+
+metrics-smoke:
+	@tmp=$$(mktemp -d); trap 'kill $$agent_pid $$server_pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/sqlserverd ./cmd/sqlserverd || exit 1; \
+	$(GO) build -o $$tmp/ecaagent ./cmd/ecaagent || exit 1; \
+	$$tmp/sqlserverd -addr $(SMOKE_SERVER) & server_pid=$$!; \
+	sleep 0.3; \
+	$$tmp/ecaagent -server $(SMOKE_SERVER) -listen $(SMOKE_GATEWAY) -http $(SMOKE_HTTP) & agent_pid=$$!; \
+	sleep 0.5; \
+	body=$$(curl -fsS http://$(SMOKE_HTTP)/metrics) || { echo "metrics-smoke: /metrics unreachable"; exit 1; }; \
+	[ -n "$$body" ] || { echo "metrics-smoke: /metrics empty"; exit 1; }; \
+	echo "$$body" | grep -q '^eca_notifications_received_total' || { echo "metrics-smoke: exposition missing eca counters"; exit 1; }; \
+	curl -fsS http://$(SMOKE_HTTP)/healthz >/dev/null || { echo "metrics-smoke: /healthz failed"; exit 1; }; \
+	echo "metrics-smoke: OK ($$(echo "$$body" | grep -c '^eca_') eca series)"

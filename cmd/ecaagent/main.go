@@ -7,18 +7,25 @@
 // Usage:
 //
 //	ecaagent -server 127.0.0.1:5000 [-listen 127.0.0.1:6000]
-//	         [-notify 127.0.0.1:0] [-admin dbo]
+//	         [-notify 127.0.0.1:0] [-admin dbo] [-http 127.0.0.1:6060]
 //	         [-retry-attempts 4] [-retry-base 25ms] [-retry-max 1s]
 //	         [-attempt-timeout 30s] [-resync 30s] [-drain 15s] [-dlq 128]
 //	         [-site name -ged host:port]
+//
+// The -http address serves the observability surface: /metrics (Prometheus
+// text format), /healthz, /stats (JSON), /eventgraph (Graphviz dot), and
+// /debug/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -41,6 +48,7 @@ func main() {
 	dlqLimit := flag.Int("dlq", 128, "dead-letter queue capacity for failed rule actions")
 	site := flag.String("site", "", "site name for global event forwarding")
 	gedAddr := flag.String("ged", "", "address of a global event detector to forward to")
+	httpAddr := flag.String("http", "", "admin HTTP address for /metrics, /stats, /eventgraph, /debug/pprof (empty disables)")
 	flag.Parse()
 
 	cfg := agent.Config{
@@ -81,8 +89,22 @@ func main() {
 		log.Fatalf("ecaagent: %v", err)
 	}
 	host, port := a.NotifyEndpoint()
-	fmt.Printf("ecaagent: gateway %s, server %s, notifications %s:%d\n",
-		a.GatewayAddr(), *serverAddr, host, port)
+	fmt.Printf("ecaagent: gateway %s, server %s, notifications %s\n",
+		a.GatewayAddr(), *serverAddr, net.JoinHostPort(host, strconv.Itoa(port)))
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("ecaagent: admin http: %v", err)
+		}
+		fmt.Printf("ecaagent: admin http://%s/ (metrics, stats, eventgraph, debug/pprof)\n", ln.Addr())
+		srv := &http.Server{Handler: a.AdminHandler()}
+		defer srv.Close()
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("ecaagent: admin http: %v", err)
+			}
+		}()
+	}
 	if events := a.Events(); len(events) > 0 {
 		fmt.Printf("ecaagent: restored %d events, %d triggers\n", len(events), len(a.Triggers()))
 	}

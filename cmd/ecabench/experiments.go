@@ -3,6 +3,9 @@ package main
 import (
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"os"
 	"sort"
 	"time"
 
@@ -48,6 +51,11 @@ func median(durs []time.Duration) time.Duration {
 	return durs[len(durs)/2]
 }
 
+// scrapeEnabled is ecabench's -metrics flag: experiments that stand up a
+// tcpDeployment also serve the agent's admin endpoint and print a /metrics
+// scrape summary when the deployment closes.
+var scrapeEnabled bool
+
 // tcpDeployment stands up the full paper deployment: server, agent, and a
 // client connected to each.
 type tcpDeployment struct {
@@ -55,6 +63,9 @@ type tcpDeployment struct {
 	agent  *agent.Agent
 	direct *client.Conn
 	viaAg  *client.Conn
+
+	adminLn  net.Listener // nil unless -metrics
+	adminURL string
 }
 
 func newTCPDeployment() (*tcpDeployment, error) {
@@ -92,10 +103,27 @@ func newTCPDeployment() (*tcpDeployment, error) {
 	if err := viaAg.MustExec("use sentineldb"); err != nil {
 		return nil, err
 	}
-	return &tcpDeployment{srv: srv, agent: a, direct: direct, viaAg: viaAg}, nil
+	d := &tcpDeployment{srv: srv, agent: a, direct: direct, viaAg: viaAg}
+	if scrapeEnabled {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			d.close()
+			return nil, err
+		}
+		d.adminLn = ln
+		d.adminURL = "http://" + ln.Addr().String()
+		go func() { _ = http.Serve(ln, a.AdminHandler()) }()
+	}
+	return d, nil
 }
 
 func (d *tcpDeployment) close() {
+	if d.adminLn != nil {
+		if err := printScrapeSummary(os.Stdout, d.adminURL+"/metrics"); err != nil {
+			fmt.Fprintf(os.Stderr, "ecabench: metrics scrape: %v\n", err)
+		}
+		d.adminLn.Close()
+	}
 	d.viaAg.Close()
 	d.direct.Close()
 	d.agent.Close()

@@ -7,6 +7,7 @@
 //	ecabench -all              # regenerate every figure
 //	ecabench -exp passthrough  # run one experiment
 //	ecabench -exp all          # run every experiment
+//	ecabench -exp e2e -metrics # also scrape the agent's /metrics after the run
 package main
 
 import (
@@ -21,6 +22,8 @@ func main() {
 	figure := flag.String("figure", "", "figure to regenerate (1-17, snoop, limits)")
 	all := flag.Bool("all", false, "regenerate every figure")
 	exp := flag.String("exp", "", "experiment to run: "+strings.Join(experimentIDs(), ", ")+", or all")
+	flag.BoolVar(&scrapeEnabled, "metrics", false,
+		"serve the agent's admin endpoint during experiments and print a /metrics scrape after each run")
 	flag.Parse()
 
 	switch {

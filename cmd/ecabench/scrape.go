@@ -1,0 +1,220 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The -metrics mode scrapes the agent's /metrics endpoint between
+// experiment runs and summarizes its latency histograms, so the numbers
+// EXPERIMENTS.md records can be cross-checked against the observability
+// layer instead of only the benchmark's own stopwatches.
+
+// sample is one parsed exposition line: name{labels} value.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePrometheus parses text-format exposition (the subset the obs
+// package emits: no timestamps, one label at most, no exemplars).
+func parsePrometheus(text string) ([]sample, error) {
+	var out []sample
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("malformed line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		s := sample{value: v, labels: map[string]string{}}
+		if open := strings.IndexByte(key, '{'); open >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return nil, fmt.Errorf("unclosed labels in %q", line)
+			}
+			s.name = key[:open]
+			for _, pair := range splitLabels(key[open+1 : len(key)-1]) {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					return nil, fmt.Errorf("bad label in %q", line)
+				}
+				val, err := strconv.Unquote(pair[eq+1:])
+				if err != nil {
+					return nil, fmt.Errorf("bad label value in %q: %v", line, err)
+				}
+				s.labels[pair[:eq]] = val
+			}
+		} else {
+			s.name = key
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}
+
+// histogram is a scraped cumulative-bucket histogram.
+type histogram struct {
+	bounds []float64 // ascending, +Inf last
+	cum    []uint64
+	count  uint64
+	sum    float64
+}
+
+// histogramFrom assembles name's _bucket/_sum/_count samples.
+func histogramFrom(samples []sample, name string) (*histogram, bool) {
+	h := &histogram{}
+	type bk struct {
+		le  float64
+		cum uint64
+	}
+	var bks []bk
+	for _, s := range samples {
+		switch s.name {
+		case name + "_bucket":
+			le := s.labels["le"]
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return nil, false
+				}
+				bound = b
+			}
+			bks = append(bks, bk{le: bound, cum: uint64(s.value)})
+		case name + "_sum":
+			h.sum = s.value
+		case name + "_count":
+			h.count = uint64(s.value)
+		}
+	}
+	if len(bks) == 0 {
+		return nil, false
+	}
+	sort.Slice(bks, func(i, j int) bool { return bks[i].le < bks[j].le })
+	for _, b := range bks {
+		h.bounds = append(h.bounds, b.le)
+		h.cum = append(h.cum, b.cum)
+	}
+	return h, true
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the containing bucket, the standard histogram_quantile estimate.
+// The +Inf bucket clamps to the largest finite bound.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	target := q * float64(h.count)
+	var prevCum uint64
+	prevBound := 0.0
+	for i, cum := range h.cum {
+		if float64(cum) >= target {
+			if math.IsInf(h.bounds[i], 1) {
+				return prevBound
+			}
+			if cum == prevCum {
+				return h.bounds[i]
+			}
+			frac := (target - float64(prevCum)) / float64(cum-prevCum)
+			return prevBound + frac*(h.bounds[i]-prevBound)
+		}
+		prevCum, prevBound = cum, h.bounds[i]
+	}
+	return prevBound
+}
+
+// scrape fetches and parses one exposition from url.
+func scrape(url string) ([]sample, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return parsePrometheus(string(body))
+}
+
+// latencyHistograms are the event-path stages summarized after each run.
+var latencyHistograms = []string{
+	"eca_gateway_batch_seconds",
+	"eca_detect_latency_seconds",
+	"eca_action_latency_seconds",
+}
+
+// printScrapeSummary scrapes url and prints count/p50/p95/p99 for each
+// latency histogram plus the notification counters.
+func printScrapeSummary(w io.Writer, url string) error {
+	samples, err := scrape(url)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n--- /metrics scrape (%s) ---\n", url)
+	fmt.Fprintf(w, "%-28s %10s %12s %12s %12s\n", "stage", "count", "p50", "p95", "p99")
+	for _, name := range latencyHistograms {
+		h, ok := histogramFrom(samples, name)
+		if !ok || h.count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %10d %12s %12s %12s\n", name, h.count,
+			fmtSeconds(h.quantile(0.50)), fmtSeconds(h.quantile(0.95)), fmtSeconds(h.quantile(0.99)))
+	}
+	for _, s := range samples {
+		if strings.HasPrefix(s.name, "eca_notifications_") {
+			fmt.Fprintf(w, "%-28s %10.0f\n", s.name, s.value)
+		}
+	}
+	return nil
+}
+
+func fmtSeconds(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}

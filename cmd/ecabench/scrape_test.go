@@ -1,0 +1,113 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const exposition = `# HELP eca_actions_run_total Completed rule actions.
+# TYPE eca_actions_run_total counter
+eca_actions_run_total 40
+# HELP eca_rule_runs_total Completed runs per rule.
+# TYPE eca_rule_runs_total counter
+eca_rule_runs_total{rule="db.u.r_one"} 25
+eca_rule_runs_total{rule="weird \"quoted\", name"} 15
+# HELP eca_action_latency_seconds Queue-to-completion action latency.
+# TYPE eca_action_latency_seconds histogram
+eca_action_latency_seconds_bucket{le="0.001"} 10
+eca_action_latency_seconds_bucket{le="0.01"} 90
+eca_action_latency_seconds_bucket{le="0.1"} 100
+eca_action_latency_seconds_bucket{le="+Inf"} 100
+eca_action_latency_seconds_sum 0.42
+eca_action_latency_seconds_count 100
+`
+
+func TestParsePrometheus(t *testing.T) {
+	samples, err := parsePrometheus(exposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, s := range samples {
+		if len(s.labels) == 0 {
+			byName[s.name] = s.value
+		}
+	}
+	if byName["eca_actions_run_total"] != 40 {
+		t.Errorf("counter: %v", byName["eca_actions_run_total"])
+	}
+	var ruleVals []float64
+	for _, s := range samples {
+		if s.name == "eca_rule_runs_total" {
+			ruleVals = append(ruleVals, s.value)
+			if s.value == 15 && s.labels["rule"] != `weird "quoted", name` {
+				t.Errorf("escaped label parsed as %q", s.labels["rule"])
+			}
+		}
+	}
+	if len(ruleVals) != 2 {
+		t.Errorf("rule series: %v", ruleVals)
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"novalue",
+		`m{le="0.1" 3`,
+		`m{le=nope} 3`,
+		"m notanumber",
+	} {
+		if _, err := parsePrometheus(bad); err == nil {
+			t.Errorf("parsed %q", bad)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	samples, err := parsePrometheus(exposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := histogramFrom(samples, "eca_action_latency_seconds")
+	if !ok {
+		t.Fatal("histogram not found")
+	}
+	if h.count != 100 || h.sum != 0.42 {
+		t.Fatalf("count=%d sum=%v", h.count, h.sum)
+	}
+	// p50: target 50 falls in the (0.001, 0.01] bucket holding ranks 11-90:
+	// 0.001 + (50-10)/80 * 0.009 = 0.0055.
+	if p50 := h.quantile(0.50); math.Abs(p50-0.0055) > 1e-9 {
+		t.Errorf("p50 = %v", p50)
+	}
+	// p99: target 99 falls in the (0.01, 0.1] bucket holding ranks 91-100.
+	if p99 := h.quantile(0.99); math.Abs(p99-0.091) > 1e-9 {
+		t.Errorf("p99 = %v", p99)
+	}
+	if _, ok := histogramFrom(samples, "eca_actions_run_total"); ok {
+		t.Error("plain counter treated as histogram")
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	text := strings.Join([]string{
+		`h_bucket{le="0.5"} 0`,
+		`h_bucket{le="+Inf"} 5`,
+		`h_sum 10`,
+		`h_count 5`,
+	}, "\n")
+	samples, err := parsePrometheus(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := histogramFrom(samples, "h")
+	// Everything in the +Inf bucket: clamp to the largest finite bound.
+	if q := h.quantile(0.5); q != 0.5 {
+		t.Errorf("inf-bucket quantile = %v", q)
+	}
+	empty := &histogram{bounds: []float64{1}, cum: []uint64{0}}
+	if q := empty.quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty quantile = %v", q)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/activedb/ecaagent/internal/led"
+	"github.com/activedb/ecaagent/internal/obs"
 	"github.com/activedb/ecaagent/internal/snoop"
 	"github.com/activedb/ecaagent/internal/sqlparse"
 )
@@ -60,6 +61,10 @@ type Config struct {
 	// DeadLetterLimit bounds the dead-letter queue of failed actions
 	// (default 128); when full, the oldest entry is evicted.
 	DeadLetterLimit int
+	// Metrics is the registry the agent's instruments are registered in;
+	// nil creates a fresh one (read it back via Agent.Metrics). Each agent
+	// needs its own registry — the instruments are per-agent state.
+	Metrics *obs.Registry
 }
 
 // eventInfo is the agent's registration record for one event.
@@ -111,8 +116,10 @@ type Agent struct {
 	// ActionDone receives a report for every completed rule action.
 	ActionDone chan ActionResult
 
-	// ctr holds the operational counters surfaced by Stats().
+	// ctr holds the operational counters surfaced by Stats(); met holds
+	// the registry-backed instruments surfaced by /metrics.
 	ctr counters
+	met *agentMetrics
 
 	// rec tracks per-event delivery watermarks (gap detection), recUp is
 	// the privileged connection the resync sweep reads authoritative vNos
@@ -168,6 +175,11 @@ func New(cfg Config) (*Agent, error) {
 	}
 	a.rec.seen = make(map[string]*eventWatermark)
 	a.dlq.limit = cfg.DeadLetterLimit
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	a.initMetrics(reg)
 	// The agent's own connections are wrapped in the retry decorator so one
 	// broken connection disables nothing: it is redialed with backoff, and
 	// only terminal (server-answered) errors surface.
@@ -543,6 +555,7 @@ func (a *Agent) addLEDRule(info *triggerInfo) error {
 		Priority: info.Priority,
 		Action: func(occ *led.Occ) {
 			a.actionWG.Add(1)
+			enqueued := time.Now()
 			// FIFO ticket: this action starts only after the previous one
 			// finished, preserving priority order across goroutines.
 			a.actionMu.Lock()
@@ -550,14 +563,16 @@ func (a *Agent) addLEDRule(info *triggerInfo) error {
 			done := make(chan struct{})
 			a.actionTail = done
 			a.actionMu.Unlock()
-			go a.runAction(info.Name, param, occ, prev, done)
+			go a.runAction(info.Name, param, occ, enqueued, prev, done)
 		},
 	})
 }
 
 // runAction executes one rule action in its own goroutine (one thread per
-// SybaseAction call, Figure 16), gated by its FIFO ticket.
-func (a *Agent) runAction(rule string, p ActionParam, occ *led.Occ, prev, done chan struct{}) {
+// SybaseAction call, Figure 16), gated by its FIFO ticket. The enqueued
+// timestamp is when detection fired the rule; the latency histogram spans
+// queue wait (the FIFO ticket) plus procedure execution.
+func (a *Agent) runAction(rule string, p ActionParam, occ *led.Occ, enqueued time.Time, prev, done chan struct{}) {
 	defer a.actionWG.Done()
 	defer close(done)
 	if prev != nil {
@@ -565,9 +580,12 @@ func (a *Agent) runAction(rule string, p ActionParam, occ *led.Occ, prev, done c
 	}
 	results, msgs, err := a.actions.invoke(p, occ)
 	a.ctr.actionsRun.Add(1)
+	a.met.ruleRuns.With(rule).Inc()
+	a.met.actionSec.ObserveSince(enqueued)
 	res := ActionResult{Rule: rule, Event: occ.Event, Occ: occ, Messages: msgs, Results: results, Err: err}
 	if err != nil {
 		a.ctr.actionsFailed.Add(1)
+		a.met.ruleFails.With(rule).Inc()
 		a.cfg.Logf("agent: action %s on %s failed: %v", p.StoreProc, p.EventName, err)
 		// The upstream already retried transient failures; what reaches
 		// here is terminal, so park it for inspection or manual replay.

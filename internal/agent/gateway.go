@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/activedb/ecaagent/internal/sqllex"
 	"github.com/activedb/ecaagent/internal/sqlparse"
@@ -54,7 +55,9 @@ func (cs *ClientSession) Database() string { return cs.db }
 func (cs *ClientSession) Exec(sql string) ([]*sqltypes.ResultSet, error) {
 	var out []*sqltypes.ResultSet
 	for _, batch := range sqlparse.SplitBatches(sql) {
+		start := time.Now()
 		results, err := cs.execBatch(batch)
+		cs.agent.met.gatewayBatchSec.ObserveSince(start)
 		out = append(out, results...)
 		if err != nil {
 			return out, err

@@ -1,0 +1,113 @@
+package agent
+
+import (
+	"github.com/activedb/ecaagent/internal/obs"
+)
+
+// agentMetrics holds the agent's direct instruments. Counters that already
+// exist as Stats atomics are exported through CounterFuncs instead of
+// being double-counted; only the latency histograms and per-rule vectors
+// are new state.
+type agentMetrics struct {
+	reg *obs.Registry
+
+	// gateway (Language Filter) path
+	gatewayBatchSec *obs.Histogram
+
+	// Event Notifier receive path
+	notifierDatagrams *obs.Counter
+	notifierBytes     *obs.Counter
+
+	// Action Handler path
+	ruleRuns  *obs.CounterVec
+	ruleFails *obs.CounterVec
+	actionSec *obs.Histogram
+
+	// recovery path
+	resyncSweeps *obs.Counter
+	resyncSec    *obs.Histogram
+}
+
+// initMetrics registers every agent instrument in reg and bridges the
+// Stats counters. Called once from New, after the counters struct exists.
+func (a *Agent) initMetrics(reg *obs.Registry) {
+	m := &agentMetrics{reg: reg}
+
+	cf := func(name, help string, v interface{ Load() uint64 }) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	cf("eca_notifications_received_total",
+		"Notification datagrams delivered to the Event Notifier (UDP or in-process).", &a.ctr.notifReceived)
+	cf("eca_notifications_delivered_total",
+		"Well-formed, non-duplicate notifications signalled into the LED.", &a.ctr.notifDelivered)
+	cf("eca_notifications_dropped_total",
+		"Malformed notification datagrams discarded.", &a.ctr.notifDropped)
+	cf("eca_notifications_duplicate_total",
+		"Notifications suppressed by the per-event vNo watermark.", &a.ctr.notifDuplicate)
+	cf("eca_notification_gaps_total",
+		"vNo gaps observed in-stream or by the resync sweep.", &a.ctr.gapsDetected)
+	cf("eca_occurrences_recovered_total",
+		"Primitive occurrences replayed into the LED after notification loss.", &a.ctr.occRecovered)
+	cf("eca_commands_total",
+		"CREATE/DROP trigger commands intercepted by the Language Filter.", &a.ctr.ecaCommands)
+	cf("eca_passthrough_batches_total",
+		"SQL batches forwarded to the server untouched.", &a.ctr.passThrough)
+	cf("eca_actions_run_total",
+		"Completed rule actions.", &a.ctr.actionsRun)
+	cf("eca_actions_failed_total",
+		"Rule actions whose procedure returned an error.", &a.ctr.actionsFailed)
+	cf("eca_actions_deadlettered_total",
+		"Failed actions parked in the dead-letter queue.", &a.ctr.deadLettered)
+	cf("eca_action_reports_dropped_total",
+		"Completed-action reports dropped because ActionDone was full.", &a.ctr.reportsDropped)
+	cf("eca_upstream_retries_total",
+		"Re-attempts of upstream batches after retryable failures.", &a.ctr.upstreamRetries)
+	cf("eca_upstream_reconnects_total",
+		"Fresh upstream connections dialed to replace broken ones.", &a.ctr.reconnects)
+
+	reg.GaugeFunc("eca_events",
+		"Registered events (primitive and composite).",
+		func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return float64(len(a.events))
+		})
+	reg.GaugeFunc("eca_triggers",
+		"Registered ECA triggers (rules).",
+		func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return float64(len(a.triggers))
+		})
+	reg.GaugeFunc("eca_dead_letters",
+		"Failed rule actions currently parked in the dead-letter queue.",
+		func() float64 { return float64(len(a.dlq.snapshot())) })
+	reg.GaugeFunc("eca_deferred_actions",
+		"Deferred rule firings queued for the next transaction boundary.",
+		func() float64 { return float64(a.led.DeferredCount()) })
+
+	m.gatewayBatchSec = reg.Histogram("eca_gateway_batch_seconds",
+		"Language Filter latency per client batch (classification plus handling), seconds.", nil)
+	m.notifierDatagrams = reg.Counter("eca_notifier_datagrams_total",
+		"Raw datagrams read from the UDP notification socket.")
+	m.notifierBytes = reg.Counter("eca_notifier_bytes_total",
+		"Raw bytes read from the UDP notification socket.")
+	m.ruleRuns = reg.CounterVec("eca_rule_runs_total",
+		"Completed rule actions, by trigger.", "rule")
+	m.ruleFails = reg.CounterVec("eca_rule_failures_total",
+		"Failed rule actions, by trigger.", "rule")
+	m.actionSec = reg.Histogram("eca_action_latency_seconds",
+		"Rule action latency from detection (queue) to procedure completion, seconds.", nil)
+	m.resyncSweeps = reg.Counter("eca_resync_sweeps_total",
+		"Resync sweeps executed against the authoritative vNo counters.")
+	m.resyncSec = reg.Histogram("eca_resync_seconds",
+		"Resync sweep duration, seconds.", nil)
+
+	a.met = m
+	a.led.EnableMetrics(reg)
+}
+
+// Metrics exposes the agent's registry — the handle the admin HTTP server
+// and embedding programs use, and the place extra application metrics can
+// be registered to ride along on /metrics.
+func (a *Agent) Metrics() *obs.Registry { return a.met.reg }

@@ -2,7 +2,6 @@ package agent
 
 import (
 	"net"
-	"strings"
 	"sync"
 )
 
@@ -41,6 +40,8 @@ func (n *notifier) listen() {
 		if err != nil {
 			return // listener closed
 		}
+		n.agent.met.notifierDatagrams.Inc()
+		n.agent.met.notifierBytes.Add(uint64(sz))
 		msg := string(buf[:sz])
 		n.agent.Deliver(msg)
 	}
@@ -51,12 +52,19 @@ func (n *notifier) close() {
 	n.wg.Wait()
 }
 
-// addr returns the bound UDP host and port.
+// addr returns the bound UDP host and port. A wildcard bind (":0",
+// "0.0.0.0", "[::]") is rewritten to the matching loopback literal —
+// triggers must dial a concrete address — but a real bind address, IPv6
+// included, is reported as-is: rewriting "[::1]:0" to 127.0.0.1 would
+// point every generated trigger at an address the notifier never bound.
+// Callers that build a host:port string must bracket via net.JoinHostPort.
 func (n *notifier) addr() (string, int) {
 	a := n.conn.LocalAddr().(*net.UDPAddr)
-	host := a.IP.String()
-	if strings.Contains(host, ":") { // IPv6 loopback
-		host = "127.0.0.1"
+	if a.IP == nil || a.IP.IsUnspecified() {
+		if a.IP != nil && a.IP.To4() == nil {
+			return "::1", a.Port
+		}
+		return "127.0.0.1", a.Port
 	}
-	return host, a.Port
+	return a.IP.String(), a.Port
 }

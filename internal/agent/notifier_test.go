@@ -1,0 +1,98 @@
+package agent
+
+import (
+	"net"
+	"strconv"
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/catalog"
+	"github.com/activedb/ecaagent/internal/engine"
+)
+
+// Regression: notifier.addr used to rewrite ANY bind address to 127.0.0.1,
+// so -notify "[::1]:0" generated triggers dialing an address the notifier
+// never bound and every notification vanished.
+func TestNotifierAddrKeepsIPv6Bind(t *testing.T) {
+	if ln, err := net.ListenPacket("udp6", "[::1]:0"); err != nil {
+		t.Skipf("IPv6 loopback unavailable: %v", err)
+	} else {
+		ln.Close()
+	}
+	n, err := startNotifier(&Agent{}, "[::1]:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.close()
+	host, port := n.addr()
+	if host != "::1" {
+		t.Fatalf("addr() host = %q, want ::1", host)
+	}
+	if port == 0 {
+		t.Fatal("addr() port = 0")
+	}
+}
+
+func TestNotifierAddrRewritesWildcard(t *testing.T) {
+	// A wildcard bind lands on [::] (dual-stack) or 0.0.0.0 depending on
+	// the platform; either way addr() must hand back a loopback literal a
+	// generated trigger can dial, never the unspecified address.
+	n, err := startNotifier(&Agent{}, ":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.close()
+	host, port := n.addr()
+	ip := net.ParseIP(host)
+	if ip == nil || !ip.IsLoopback() {
+		t.Fatalf("wildcard bind reported %q, want a loopback literal", host)
+	}
+	conn, err := net.Dial("udp", net.JoinHostPort(host, strconv.Itoa(port)))
+	if err != nil {
+		t.Fatalf("reported address not dialable: %v", err)
+	}
+	conn.Close()
+}
+
+// End-to-end over IPv6: the engine's generated trigger must reach an agent
+// whose notifier is bound to the IPv6 loopback.
+func TestNotifyOverIPv6Loopback(t *testing.T) {
+	if ln, err := net.ListenPacket("udp6", "[::1]:0"); err != nil {
+		t.Skipf("IPv6 loopback unavailable: %v", err)
+	} else {
+		ln.Close()
+	}
+	eng := engine.New(catalog.New())
+	a, err := New(Config{
+		Dial:       LocalDialer(eng),
+		NotifyAddr: "[::1]:0", // engine keeps its default real-UDP notifier
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	if host, _ := a.NotifyEndpoint(); host != "::1" {
+		t.Fatalf("NotifyEndpoint host = %q", host)
+	}
+	seed := eng.NewSession("sharma")
+	if _, err := seed.ExecScript(`create database sentineldb
+use sentineldb
+create table stock (symbol varchar(10), price float null)`); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := a.NewClientSession("sharma", "sentineldb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cs.Close() })
+	if _, err := cs.Exec("create trigger t6 on stock for insert event addStk as print 'v6'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Exec("insert stock values ('IBM', 100)"); err != nil {
+		t.Fatal(err)
+	}
+	res := waitAction(t, a)
+	if res.Err != nil {
+		t.Fatalf("action failed: %v", res.Err)
+	}
+}

@@ -67,6 +67,7 @@ func (a *Agent) ingest(p led.Primitive) {
 	if !tracked {
 		// Stray or foreign notification: hand it to the LED untracked
 		// (unknown events are ignored there).
+		a.ctr.notifDelivered.Add(1)
 		a.signal(p)
 		return
 	}
@@ -84,6 +85,7 @@ func (a *Agent) ingest(p led.Primitive) {
 		}
 	}
 	w.last = p.VNo
+	a.ctr.notifDelivered.Add(1)
 	a.signal(p)
 }
 
@@ -102,6 +104,8 @@ func (a *Agent) signal(p led.Primitive) {
 // later reveals the hole). The periodic sweep calls it on
 // Config.ResyncInterval; tests and operators can call it directly.
 func (a *Agent) Resync() error {
+	a.met.resyncSweeps.Inc()
+	defer a.met.resyncSec.ObserveSince(time.Now())
 	type target struct {
 		event, table, op string
 		last             int

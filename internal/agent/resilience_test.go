@@ -260,7 +260,9 @@ func TestRetryUpstreamExhaustsAttempts(t *testing.T) {
 	cfg := fastRetry
 	cfg.MaxAttempts = 3
 	r := newRetryUpstream(
-		func() (Upstream, error) { return &scriptedUp{errs: []error{syscall.ECONNRESET, syscall.ECONNRESET, syscall.ECONNRESET}}, nil },
+		func() (Upstream, error) {
+			return &scriptedUp{errs: []error{syscall.ECONNRESET, syscall.ECONNRESET, syscall.ECONNRESET}}, nil
+		},
 		cfg, nil, nil, nil,
 	)
 	defer r.Close()

@@ -9,6 +9,10 @@ type Stats struct {
 	// NotificationsReceived counts datagrams delivered to the Event
 	// Notifier (UDP or in-process).
 	NotificationsReceived uint64
+	// NotificationsDelivered counts well-formed, non-duplicate
+	// notifications signalled into the LED. Every received notification is
+	// exactly one of delivered, dropped, or duplicate.
+	NotificationsDelivered uint64
 	// NotificationsDropped counts malformed datagrams discarded.
 	NotificationsDropped uint64
 	// NotificationsDuplicate counts datagrams suppressed by the delivery
@@ -49,6 +53,7 @@ type Stats struct {
 // counters holds the live atomic counters.
 type counters struct {
 	notifReceived   atomic.Uint64
+	notifDelivered  atomic.Uint64
 	notifDropped    atomic.Uint64
 	notifDuplicate  atomic.Uint64
 	gapsDetected    atomic.Uint64
@@ -67,6 +72,7 @@ type counters struct {
 func (a *Agent) Stats() Stats {
 	return Stats{
 		NotificationsReceived:  a.ctr.notifReceived.Load(),
+		NotificationsDelivered: a.ctr.notifDelivered.Load(),
 		NotificationsDropped:   a.ctr.notifDropped.Load(),
 		NotificationsDuplicate: a.ctr.notifDuplicate.Load(),
 		GapsDetected:           a.ctr.gapsDetected.Load(),

@@ -14,8 +14,10 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/activedb/ecaagent/internal/led"
+	"github.com/activedb/ecaagent/internal/obs"
 	"github.com/activedb/ecaagent/internal/snoop"
 )
 
@@ -27,14 +29,71 @@ type GED struct {
 	mu    sync.Mutex
 	led   *led.LED
 	sites map[string]bool
+	// autoRegister lets Signal register unknown sites on first contact.
+	// Off by default: RegisterSite promises "already registered" errors,
+	// and silently adopting any sender contradicts that contract (and lets
+	// a typoed site name shadow a real one forever).
+	autoRegister bool
+
+	sigAccepted atomic.Uint64
+	sigAutoReg  atomic.Uint64
+	sigRejected atomic.Uint64
 
 	conn *net.UDPConn
 	wg   sync.WaitGroup
 }
 
-// New returns a GED. A nil clock selects real time.
+// New returns a GED. A nil clock selects real time. Signals from
+// unregistered sites are rejected (and counted) unless SetAutoRegister
+// enables lazy adoption.
 func New(clock led.Clock) *GED {
 	return &GED{led: led.New(clock), sites: make(map[string]bool)}
+}
+
+// SetAutoRegister chooses the unknown-site policy for Signal: when on,
+// a signal from an unregistered site registers the site (the original
+// "sites may announce themselves by sending" behaviour); when off (the
+// default), the signal is dropped and counted in SignalsRejected.
+func (g *GED) SetAutoRegister(on bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.autoRegister = on
+}
+
+// Stats is a snapshot of the GED's signal-policy counters.
+type Stats struct {
+	// SignalsAccepted counts signals from registered sites fed to the LED.
+	SignalsAccepted uint64
+	// SignalsAutoRegistered counts signals that lazily registered their
+	// site (auto-registration on).
+	SignalsAutoRegistered uint64
+	// SignalsRejected counts signals dropped because their site was not
+	// registered (auto-registration off).
+	SignalsRejected uint64
+}
+
+// Stats returns the current counters.
+func (g *GED) Stats() Stats {
+	return Stats{
+		SignalsAccepted:       g.sigAccepted.Load(),
+		SignalsAutoRegistered: g.sigAutoReg.Load(),
+		SignalsRejected:       g.sigRejected.Load(),
+	}
+}
+
+// EnableMetrics registers the GED's counters (and its LED's detection
+// instruments) in reg.
+func (g *GED) EnableMetrics(reg *obs.Registry) {
+	reg.CounterFunc("ged_signals_accepted_total",
+		"Site signals from registered sites fed to the global LED.",
+		func() float64 { return float64(g.sigAccepted.Load()) })
+	reg.CounterFunc("ged_signals_auto_registered_total",
+		"Site signals that lazily registered their site.",
+		func() float64 { return float64(g.sigAutoReg.Load()) })
+	reg.CounterFunc("ged_signals_rejected_total",
+		"Site signals dropped because their site was not registered.",
+		func() float64 { return float64(g.sigRejected.Load()) })
+	g.led.EnableMetrics(reg)
 }
 
 // LED exposes the underlying detector (rules, deferred flushing).
@@ -66,17 +125,28 @@ func (g *GED) DeclareSiteEvent(site, event string) error {
 	return g.led.DefinePrimitive(name)
 }
 
-// Signal injects one site's primitive event occurrence.
+// Signal injects one site's primitive event occurrence. Signals from
+// unregistered sites are dropped unless auto-registration is enabled (see
+// SetAutoRegister); either way the outcome is counted in Stats. Site
+// events are still registered lazily on first signal — only the *site*
+// has an explicit registration contract.
 func (g *GED) Signal(site string, p led.Primitive) {
 	name := globalName(p.Event, site)
 	g.mu.Lock()
 	if !g.sites[site] {
-		g.sites[site] = true // sites may announce themselves by sending
+		if !g.autoRegister {
+			g.mu.Unlock()
+			g.sigRejected.Add(1)
+			return
+		}
+		g.sites[site] = true
+		g.sigAutoReg.Add(1)
 	}
 	if !g.led.HasEvent(name) {
 		_ = g.led.DefinePrimitive(name)
 	}
 	g.mu.Unlock()
+	g.sigAccepted.Add(1)
 	p.Event = name
 	g.led.Signal(p)
 }

@@ -35,7 +35,11 @@ func (c *ManualClock) Now() time.Time {
 	return c.now
 }
 
-// AfterFunc schedules f at now+d.
+// AfterFunc schedules f at now+d. The returned cancel unlinks the timer
+// from the schedule immediately: a cancelled timer must not wait for the
+// next Advance to be reclaimed, or workloads that arm and cancel timers
+// without ever advancing (NOT/periodic operators torn down between runs)
+// grow the timer list without bound.
 func (c *ManualClock) AfterFunc(d time.Duration, f func()) func() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -45,7 +49,16 @@ func (c *ManualClock) AfterFunc(d time.Duration, f func()) func() {
 	return func() {
 		c.mu.Lock()
 		defer c.mu.Unlock()
+		if t.stopped {
+			return
+		}
 		t.stopped = true
+		for i, x := range c.timers {
+			if x == t {
+				c.timers = append(c.timers[:i], c.timers[i+1:]...)
+				break
+			}
+		}
 	}
 }
 
@@ -73,15 +86,9 @@ func (c *ManualClock) Advance(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// dueTimerLocked pops the earliest unstopped timer at or before target.
+// dueTimerLocked pops the earliest timer at or before target. Cancelled
+// timers never appear here — cancel unlinks them eagerly.
 func (c *ManualClock) dueTimerLocked(target time.Time) *manualTimer {
-	live := c.timers[:0]
-	for _, t := range c.timers {
-		if !t.stopped {
-			live = append(live, t)
-		}
-	}
-	c.timers = live
 	if len(c.timers) == 0 {
 		return nil
 	}
@@ -95,19 +102,15 @@ func (c *ManualClock) dueTimerLocked(target time.Time) *manualTimer {
 		return nil
 	}
 	t := c.timers[0]
-	c.timers = c.timers[1:]
+	// Shift down instead of re-slicing so the popped head does not pin the
+	// backing array.
+	c.timers = append(c.timers[:0], c.timers[1:]...)
 	return t
 }
 
-// PendingTimers reports how many unstopped timers are armed.
+// PendingTimers reports how many timers are armed.
 func (c *ManualClock) PendingTimers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
-	for _, t := range c.timers {
-		if !t.stopped {
-			n++
-		}
-	}
-	return n
+	return len(c.timers)
 }

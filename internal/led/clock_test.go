@@ -1,0 +1,74 @@
+package led
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression: cancelled timers used to linger in c.timers until the next
+// Advance compacted them. A workload that arms and cancels timers without
+// advancing the clock grew the slice without bound.
+func TestManualClockCancelReclaimsImmediately(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		cancel := c.AfterFunc(time.Hour, func() { t.Error("cancelled timer fired") })
+		cancel()
+	}
+	c.mu.Lock()
+	held := len(c.timers)
+	c.mu.Unlock()
+	if held != 0 {
+		t.Fatalf("%d cancelled timers still held without an Advance", held)
+	}
+	if got := c.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers() = %d", got)
+	}
+	c.Advance(2 * time.Hour) // cancelled timers must stay dead
+}
+
+func TestManualClockCancelIsIdempotent(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	fired := 0
+	keep := c.AfterFunc(time.Minute, func() { fired++ })
+	cancel := c.AfterFunc(time.Minute, func() { t.Error("cancelled timer fired") })
+	cancel()
+	cancel() // double-cancel must not unlink a different timer
+	if got := c.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers() = %d, want 1", got)
+	}
+	c.Advance(time.Hour)
+	if fired != 1 {
+		t.Fatalf("surviving timer fired %d times", fired)
+	}
+	keep() // cancelling an already-fired timer is a no-op
+	if got := c.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers() = %d after fire", got)
+	}
+}
+
+func TestManualClockFiresInDeadlineOrder(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	var order []int
+	c.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	c.AfterFunc(time.Second, func() { order = append(order, 1) })
+	c.AfterFunc(2*time.Second, func() {
+		order = append(order, 2)
+		// A callback may re-arm within the window; it fires in the same
+		// Advance.
+		c.AfterFunc(time.Second, func() { order = append(order, 4) })
+	})
+	c.Advance(5 * time.Second)
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	if !c.Now().Equal(time.Unix(5, 0)) {
+		t.Errorf("Now() = %v", c.Now())
+	}
+}

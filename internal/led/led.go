@@ -205,6 +205,10 @@ type LED struct {
 	pending []firing
 	// detachedWG tracks detached rule goroutines for clean shutdown.
 	detachedWG sync.WaitGroup
+
+	// met holds the optional instruments (see EnableMetrics); loaded
+	// atomically so Signal never takes an extra lock for them.
+	met metAtomic
 }
 
 // New returns a LED. A nil clock selects the real-time clock.
@@ -376,6 +380,9 @@ func (l *LED) RuleNames() []string {
 func (l *LED) Signal(p Primitive) {
 	if p.At.IsZero() {
 		p.At = l.clock.Now()
+	}
+	if m := l.met.Load(); m != nil {
+		defer m.detectSec.ObserveSince(time.Now())
 	}
 	l.dispatch(func() {
 		n, ok := l.nodes[p.Event]

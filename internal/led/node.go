@@ -219,6 +219,7 @@ func (n *node) shutdown() {
 
 // emit delivers an occurrence to this node's subscribers in one context.
 func (n *node) emit(ctx Context, occ *Occ) {
+	n.led.countOcc(n.kind)
 	occ.Event = n.eventName()
 	occ.Context = ctx
 	for _, s := range n.subs {
@@ -231,6 +232,7 @@ func (n *node) emit(ctx Context, occ *Occ) {
 // emitPrimitive delivers a primitive occurrence to subscribers of every
 // context (primitive detection is context-free).
 func (n *node) emitPrimitive(occ *Occ) {
+	n.led.countOcc(kPrimitive)
 	for _, s := range n.subs {
 		c := occ.clone()
 		c.Context = s.ctx

@@ -1,0 +1,283 @@
+// Package obs is a dependency-free metrics layer for the ECA agent: atomic
+// counters, gauges, and fixed-bucket latency histograms collected in a
+// Registry that exposes itself in the Prometheus text format. The paper's
+// §6 evaluates exactly the paths the agent instruments with it —
+// notification delivery, composite detection, and action execution — and
+// Reaction-RuleML-style systems treat event-lifecycle monitoring as a
+// first-class concern; this package gives the reproduction the same
+// footing without pulling in a client library.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency histogram bounds, in seconds. The
+// event path spans ~50 µs (in-process detection) to seconds (retry storms
+// under fault injection), so the buckets cover 50 µs .. 5 s log-ish.
+var DefBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5,
+}
+
+// Counter is a monotonically increasing integral counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (conventionally seconds). Buckets are cumulative at exposition, matching
+// Prometheus semantics; observation is two atomic adds and a CAS loop for
+// the sum — safe for concurrent use with no locking on the hot path.
+type Histogram struct {
+	bounds  []float64       // upper bounds, ascending; +Inf is implicit
+	counts  []atomic.Uint64 // len(bounds)+1, non-cumulative per bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// BucketCount is one cumulative bucket of a histogram snapshot.
+type BucketCount struct {
+	LE    float64 `json:"le"` // +Inf for the last bucket
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders the bound as a string ("+Inf" for the last bucket —
+// encoding/json rejects infinite float64 values).
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"count"`
+	}{le, b.Count})
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, the JSON form
+// the agent's /stats endpoint serves.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot copies the histogram. Buckets are cumulative.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Buckets: make([]BucketCount, 0, len(h.bounds)+1)}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, BucketCount{LE: b, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	s.Buckets = append(s.Buckets, BucketCount{LE: math.Inf(1), Count: cum})
+	s.Count = h.count.Load()
+	s.Sum = h.Sum()
+	return s
+}
+
+// metricKind discriminates families in the registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+	kindCounterVec
+)
+
+// family is one named metric family: a scalar, a func, a histogram, or a
+// labeled vector of counters.
+type family struct {
+	name, help string
+	kind       metricKind
+	label      string // label name for vectors
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+
+	mu     sync.Mutex
+	series map[string]*Counter // label value → counter (vectors)
+}
+
+// Registry collects metric families and renders them. All methods are safe
+// for concurrent use; registration methods are idempotent — re-registering
+// an existing name with the same shape returns the existing metric, so
+// components can share a registry without coordinating.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register adds a family or returns the existing one; shape mismatches are
+// programmer errors and panic.
+func (r *Registry) register(f *family) *family {
+	if !validName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if have, ok := r.fams[f.name]; ok {
+		if have.kind != f.kind || have.label != f.label {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", f.name))
+		}
+		return have
+	}
+	r.fams[f.name] = f
+	return f
+}
+
+// Counter registers (or returns) a scalar counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, kind: kindCounter, counter: &Counter{}})
+	return f.counter
+}
+
+// Gauge registers (or returns) a scalar gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, kind: kindGauge, gauge: &Gauge{}})
+	return f.gauge
+}
+
+// Histogram registers (or returns) a histogram. A nil buckets slice
+// selects DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(&family{name: name, help: help, kind: kindHistogram, hist: newHistogram(buckets)})
+	return f.hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — the bridge for counters that already live elsewhere
+// (e.g. the agent's Stats atomics), avoiding double bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindCounterFunc, fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// CounterVec is a family of counters partitioned by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	f := r.register(&family{
+		name: name, help: help, kind: kindCounterVec, label: label,
+		series: make(map[string]*Counter),
+	})
+	return &CounterVec{f: f}
+}
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	c, ok := v.f.series[value]
+	if !ok {
+		c = &Counter{}
+		v.f.series[value] = c
+	}
+	return c
+}
+
+// Histograms returns snapshots of every registered histogram, keyed by
+// metric name (the /stats JSON payload).
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistogramSnapshot)
+	for name, f := range r.fams {
+		if f.kind == kindHistogram {
+			out[name] = f.hist.Snapshot()
+		}
+	}
+	return out
+}
+
+// validName checks the Prometheus metric-name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+	// Idempotent re-registration returns the same metric.
+	if r.Counter("test_total", "a counter") != c {
+		t.Error("re-registration returned a new counter")
+	}
+}
+
+func TestRegistryShapeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestHistogramBucketsAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.001, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-5.0565) > 1e-9 {
+		t.Errorf("sum = %g", s.Sum)
+	}
+	// Cumulative buckets: ≤1ms holds 0.0005 and the boundary 0.001.
+	wantCum := []uint64{2, 3, 4, 5}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket[%d] (le=%g) = %d want %d", i, b.LE, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[len(s.Buckets)-1].LE, 1) {
+		t.Error("last bucket is not +Inf")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram([]float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || math.Abs(h.Sum()-4000) > 1e-6 {
+		t.Errorf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second").Add(2)
+	r.Gauge("a_gauge", "first").Set(-3)
+	r.CounterFunc("f_total", "func counter", func() float64 { return 9 })
+	v := r.CounterVec("rule_runs_total", "per rule", "rule")
+	v.With(`db."quoted"`).Add(1)
+	v.With("db.plain").Add(4)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.5})
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE a_gauge gauge\na_gauge -3\n",
+		"# TYPE b_total counter\nb_total 2\n",
+		"f_total 9\n",
+		"rule_runs_total{rule=\"db.\\\"quoted\\\"\"} 1\n",
+		`rule_runs_total{rule="db.plain"} 4`,
+		`lat_seconds_bucket{le="0.5"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_sum 2.25\n",
+		"lat_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted name order.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestObserveSinceAndDefBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "", nil)
+	h.ObserveSince(time.Now().Add(-10 * time.Millisecond))
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Errorf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if len(h.bounds) != len(DefBuckets) {
+		t.Errorf("default buckets not applied")
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"eca_actions_total": true, "a:b_1": true,
+		"": false, "1abc": false, "a-b": false, "a b": false,
+	} {
+		if validName(name) != want {
+			t.Errorf("validName(%q) = %v", name, !want)
+		}
+	}
+}

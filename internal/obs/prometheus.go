@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), in stable name order, so /metrics
+// output diffs cleanly between scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.writePrometheus(w)
+	}
+}
+
+func (f *family) writePrometheus(w io.Writer) {
+	typ := "counter"
+	switch f.kind {
+	case kindGauge, kindGaugeFunc:
+		typ = "gauge"
+	case kindHistogram:
+		typ = "histogram"
+	}
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, typ)
+
+	switch f.kind {
+	case kindCounter:
+		fmt.Fprintf(w, "%s %d\n", f.name, f.counter.Value())
+	case kindGauge:
+		fmt.Fprintf(w, "%s %d\n", f.name, f.gauge.Value())
+	case kindCounterFunc, kindGaugeFunc:
+		fmt.Fprintf(w, "%s %s\n", f.name, fmtFloat(f.fn()))
+	case kindCounterVec:
+		f.mu.Lock()
+		vals := make([]string, 0, len(f.series))
+		for v := range f.series {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", f.name, f.label, escapeLabel(v), f.series[v].Value())
+		}
+		f.mu.Unlock()
+	case kindHistogram:
+		s := f.hist.Snapshot()
+		for _, b := range s.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.LE, 1) {
+				le = fmtFloat(b.LE)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, le, b.Count)
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", f.name, fmtFloat(s.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", f.name, s.Count)
+	}
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel prepares a label value for emission with %q, whose Go
+// escaping (backslash, quote, newline) coincides with the exposition
+// format's label escaping.
+func escapeLabel(s string) string { return s }
