@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz metrics-smoke
+.PHONY: check fmt vet build test race differential fuzz bench-json metrics-smoke
 
-# The full pre-merge gate: static checks, a clean build, and the entire
-# test suite under the race detector.
-check: fmt vet build race
+# The full pre-merge gate: static checks, a clean build, the entire test
+# suite under the race detector, and an explicit pass over the sharded-LED
+# differential equivalence suite (also under -race).
+check: fmt vet build race differential
 
 # gofmt -l prints nonconforming files; any output fails the gate.
 fmt:
@@ -23,10 +24,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzzing pass over the notification decoder (seed corpus always
-# runs under plain `make test`; this explores further).
+# The operator x context x coupling equivalence proof for the sharded LED:
+# every Snoop operator through a 1-shard oracle and an N-shard detector on
+# the same clock, plus the randomized merge/split stress, under -race.
+differential:
+	$(GO) test -race -count=1 -run 'TestDifferential|TestStressConcurrentShards|TestShard' ./internal/led
+
+# Short fuzzing passes over the notification decoders and the Snoop parser
+# (seed corpora always run under plain `make test`; this explores further).
 fuzz:
 	$(GO) test -fuzz=FuzzParseNotification -fuzztime=10s ./internal/agent
+	$(GO) test -fuzz=FuzzDecodeBatch -fuzztime=10s ./internal/agent
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/snoop
+
+# Sharding ablation: concurrent detection throughput, single-lock vs
+# sharded LED, written to BENCH_PR3.json (see EXPERIMENTS.md).
+bench-json:
+	$(GO) run ./cmd/ecabench -exp parallel -bench-json BENCH_PR3.json
 
 # Live smoke test of the observability surface: stand up sqlserverd and
 # ecaagent -http, then require a 200 with a non-empty Prometheus

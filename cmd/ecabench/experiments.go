@@ -33,6 +33,7 @@ var experiments = map[string]struct {
 	"contexts":    {"LED detection cost per parameter context", expContexts},
 	"recovery":    {"agent restart time vs persisted rule count", expRecovery},
 	"fanout":      {"k triggers on one event (native limit lifted)", expFanout},
+	"parallel":    {"sharded vs single-lock LED under concurrent independent rule sets", expParallel},
 }
 
 func experimentIDs() []string {

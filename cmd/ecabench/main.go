@@ -22,6 +22,8 @@ func main() {
 	figure := flag.String("figure", "", "figure to regenerate (1-17, snoop, limits)")
 	all := flag.Bool("all", false, "regenerate every figure")
 	exp := flag.String("exp", "", "experiment to run: "+strings.Join(experimentIDs(), ", ")+", or all")
+	flag.StringVar(&benchJSONPath, "bench-json", "",
+		"write the parallel experiment's results as JSON to this path")
 	flag.BoolVar(&scrapeEnabled, "metrics", false,
 		"serve the agent's admin endpoint during experiments and print a /metrics scrape after each run")
 	flag.Parse()

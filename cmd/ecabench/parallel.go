@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/led"
+	"github.com/activedb/ecaagent/internal/snoop"
+)
+
+// benchJSONPath, when set via -bench-json, receives the parallel
+// experiment's results as a JSON document (BENCH_PR3.json in CI).
+var benchJSONPath string
+
+// parallelResult is one measured configuration of the sharding ablation.
+type parallelResult struct {
+	Mode       string  `json:"mode"` // "single-lock" | "sharded"
+	Sets       int     `json:"sets"` // independent rule sets = signalling goroutines
+	Shards     int     `json:"shards"`
+	Signals    int     `json:"signals"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	PerSec     float64 `json:"throughput_per_sec"`
+	Detections uint64  `json:"detections"`
+}
+
+// parallelReport is the BENCH_PR3.json document.
+type parallelReport struct {
+	Bench         string           `json:"bench"`
+	GoMaxProcs    int              `json:"go_max_procs"`
+	NumCPU        int              `json:"num_cpu"`
+	SignalsPerSet int              `json:"signals_per_set"`
+	Results       []parallelResult `json:"results"`
+	// Speedups maps "sets=N" to sharded/single-lock throughput ratio.
+	Speedups map[string]float64 `json:"speedups"`
+	Note     string             `json:"note"`
+}
+
+// expParallel is the tentpole ablation: concurrent Signal throughput over
+// K independent rule sets (K goroutines, each hammering its own `a ^ b`
+// CHRONICLE composite) through a single-lock LED (MaxShards: 1, the
+// pre-sharding design) versus the sharded LED, where each independent
+// component detects under its own lock. On a multi-core host the sharded
+// detector scales with K up to the core count; the single lock serializes
+// everything.
+func expParallel(w io.Writer) error {
+	const perSet = 30000
+	report := parallelReport{
+		Bench:         "sharded LED concurrent detection throughput",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		SignalsPerSet: perSet,
+		Speedups:      map[string]float64{},
+		Note: "speedup = sharded / single-lock throughput at equal sets; " +
+			"parallel gains require go_max_procs > 1 (detection is serialized on one core)",
+	}
+	fmt.Fprintf(w, "%-12s %6s %7s %12s %14s\n", "mode", "sets", "shards", "signals/s", "elapsed")
+	base := map[int]float64{}
+	for _, sets := range []int{1, 2, 4, 8} {
+		for _, mode := range []struct {
+			name string
+			opts led.Options
+		}{
+			{"single-lock", led.Options{MaxShards: 1}},
+			{"sharded", led.Options{}},
+		} {
+			r, err := runParallelOnce(mode.name, mode.opts, sets, perSet)
+			if err != nil {
+				return err
+			}
+			report.Results = append(report.Results, r)
+			fmt.Fprintf(w, "%-12s %6d %7d %12.0f %14s\n",
+				r.Mode, r.Sets, r.Shards, r.PerSec, time.Duration(r.ElapsedNS))
+			if mode.name == "single-lock" {
+				base[sets] = r.PerSec
+			} else if b := base[sets]; b > 0 {
+				report.Speedups[fmt.Sprintf("sets=%d", sets)] = r.PerSec / b
+			}
+		}
+	}
+	for _, sets := range []int{1, 2, 4, 8} {
+		if s, ok := report.Speedups[fmt.Sprintf("sets=%d", sets)]; ok {
+			fmt.Fprintf(w, "speedup sets=%d: %.2fx\n", sets, s)
+		}
+	}
+	if benchJSONPath != "" {
+		doc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchJSONPath, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", benchJSONPath)
+	}
+	return nil
+}
+
+// runParallelOnce measures one (mode, sets) cell: sets goroutines each
+// signal perSet a/b pairs into their own composite, wall-clocked together.
+func runParallelOnce(mode string, opts led.Options, sets, perSet int) (parallelResult, error) {
+	l := led.NewWithOptions(led.NewManualClock(time.Unix(0, 0)), opts)
+	var detected atomic.Uint64
+	for k := 0; k < sets; k++ {
+		a, b := fmt.Sprintf("s%d_a", k), fmt.Sprintf("s%d_b", k)
+		for _, p := range []string{a, b} {
+			if err := l.DefinePrimitive(p); err != nil {
+				return parallelResult{}, err
+			}
+		}
+		e, err := snoop.Parse(a + " ^ " + b)
+		if err != nil {
+			return parallelResult{}, err
+		}
+		comp := fmt.Sprintf("s%d_c", k)
+		if err := l.DefineComposite(comp, e); err != nil {
+			return parallelResult{}, err
+		}
+		if err := l.AddRule(&led.Rule{
+			Name: "r" + comp, Event: comp, Context: led.Chronicle,
+			Action: func(*led.Occ) { detected.Add(1) },
+		}); err != nil {
+			return parallelResult{}, err
+		}
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for k := 0; k < sets; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			a, b := fmt.Sprintf("s%d_a", k), fmt.Sprintf("s%d_b", k)
+			at := time.Unix(0, 0)
+			for i := 1; i <= perSet; i++ {
+				at = at.Add(time.Microsecond)
+				l.Signal(led.Primitive{Event: a, Op: "insert", VNo: i, At: at})
+				at = at.Add(time.Microsecond)
+				l.Signal(led.Primitive{Event: b, Op: "insert", VNo: i, At: at})
+			}
+		}(k)
+	}
+	wg.Wait()
+	l.Wait()
+	elapsed := time.Since(start)
+	total := sets * perSet * 2
+	if got, want := detected.Load(), uint64(sets*perSet); got != want {
+		return parallelResult{}, fmt.Errorf("parallel %s sets=%d: detected %d, want %d", mode, sets, got, want)
+	}
+	return parallelResult{
+		Mode:       mode,
+		Sets:       sets,
+		Shards:     l.ShardCount(),
+		Signals:    total,
+		ElapsedNS:  elapsed.Nanoseconds(),
+		PerSec:     float64(total) / elapsed.Seconds(),
+		Detections: detected.Load(),
+	}, nil
+}

@@ -3,6 +3,7 @@ package agent
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -34,6 +35,12 @@ type Config struct {
 	NotifyPort int
 	// Clock drives the LED's temporal operators; nil selects real time.
 	Clock led.Clock
+	// IngestWorkers sizes the worker pool that drains decoded notification
+	// batches into the LED, one fixed worker per LED shard group so
+	// independent shards are signalled concurrently (0 selects
+	// 2×GOMAXPROCS). Set to -1 to disable the pool: DeliverBatch then
+	// ingests synchronously, line by line, like repeated Deliver calls.
+	IngestWorkers int
 	// ActionBuffer sizes the ActionDone channel (default 256). When the
 	// buffer is full, completed-action reports are dropped (the channel is
 	// observational; rule execution itself is unaffected).
@@ -93,11 +100,12 @@ type triggerInfo struct {
 // Agent is the ECA agent: a mediator that adds full active-database
 // capability to the SQL server it fronts (Figure 2 of the paper).
 type Agent struct {
-	cfg      Config
-	led      *led.LED
-	pm       *persistentManager
-	actions  *actionHandler
-	notifier *notifier
+	cfg        Config
+	led        *led.LED
+	pm         *persistentManager
+	actions    *actionHandler
+	notifier   *notifier
+	ingestPool *ingestPool
 
 	mu       sync.Mutex
 	events   map[string]*eventInfo   // internal event name → info
@@ -175,6 +183,13 @@ func New(cfg Config) (*Agent, error) {
 	}
 	a.rec.seen = make(map[string]*eventWatermark)
 	a.dlq.limit = cfg.DeadLetterLimit
+	if cfg.IngestWorkers >= 0 {
+		w := cfg.IngestWorkers
+		if w == 0 {
+			w = 2 * runtime.GOMAXPROCS(0)
+		}
+		a.ingestPool = newIngestPool(a, w)
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -202,6 +217,9 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.NotifyAddr != "-" {
 		n, err := startNotifier(a, cfg.NotifyAddr)
 		if err != nil {
+			if a.ingestPool != nil {
+				a.ingestPool.close()
+			}
 			pm.close()
 			a.actions.close()
 			a.recUp.Close()
@@ -233,6 +251,11 @@ func (a *Agent) Close() {
 	if a.notifier != nil {
 		a.notifier.close()
 	}
+	if a.ingestPool != nil {
+		// After the notifier stops, no DeliverBatch submissions remain;
+		// drain what is queued so no accepted notification is lost.
+		a.ingestPool.close()
+	}
 	a.bgWG.Wait()
 	if !a.drain(a.cfg.DrainTimeout) {
 		a.cfg.Logf("agent: drain deadline %v exceeded; abandoning in-flight rule actions", a.cfg.DrainTimeout)
@@ -247,6 +270,7 @@ func (a *Agent) Close() {
 func (a *Agent) drain(timeout time.Duration) bool {
 	done := make(chan struct{})
 	go func() {
+		a.WaitIngest()
 		a.led.Wait()
 		a.actionWG.Wait()
 		close(done)
@@ -305,6 +329,7 @@ func (a *Agent) FlushDeferred() { a.led.FlushDeferred() }
 
 // WaitActions blocks until all in-flight rule actions complete.
 func (a *Agent) WaitActions() {
+	a.WaitIngest()
 	a.led.Wait()
 	a.actionWG.Wait()
 }

@@ -1,0 +1,170 @@
+package agent
+
+import (
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/activedb/ecaagent/internal/led"
+	"github.com/activedb/ecaagent/internal/obs"
+)
+
+// ingestQueueCap bounds each ingest worker's queue of pending batches.
+// Submissions block when a queue is full, so a slow LED shard exerts
+// backpressure on the UDP reader instead of growing memory without bound.
+const ingestQueueCap = 256
+
+// ingestPool drains decoded notification batches into the LED on a bounded
+// set of workers. A batch holds primitives destined for one LED shard, and
+// every shard routes to a fixed worker (shard mod workers), so occurrences
+// of one shard — and therefore of one event — are ingested in arrival
+// order while independent shards proceed concurrently. The per-event vNo
+// watermark (recovery.go) would tolerate reordering anyway; the routing
+// just keeps the common case gap-free.
+type ingestPool struct {
+	agent  *Agent
+	queues []chan []led.Primitive
+	depths []atomic.Int64 // per-worker queued batches (gauge)
+	wg     sync.WaitGroup
+	// pending counts submitted-but-unfinished batches, so WaitIngest is a
+	// true barrier (queue depth alone misses the batch being processed).
+	pending sync.WaitGroup
+	// gauges mirrors depths into the metrics registry; set once during
+	// initMetrics, before any submission. Nil when metrics are off.
+	gauges []*obs.Gauge
+	// closeOnce makes close idempotent (Agent.Close may run twice: once
+	// from a failed New, once from the caller's deferred Close).
+	closeOnce sync.Once
+}
+
+func newIngestPool(a *Agent, workers int) *ingestPool {
+	p := &ingestPool{
+		agent:  a,
+		queues: make([]chan []led.Primitive, workers),
+		depths: make([]atomic.Int64, workers),
+	}
+	for i := range p.queues {
+		p.queues[i] = make(chan []led.Primitive, ingestQueueCap)
+		p.wg.Add(1)
+		go p.work(i)
+	}
+	return p
+}
+
+func (p *ingestPool) work(i int) {
+	defer p.wg.Done()
+	for batch := range p.queues[i] {
+		d := p.depths[i].Add(-1)
+		if p.gauges != nil {
+			p.gauges[i].Set(d)
+		}
+		for _, prim := range batch {
+			p.agent.ingest(prim)
+		}
+		p.pending.Done()
+	}
+}
+
+// submit hands one shard's batch to its worker, blocking on backpressure.
+func (p *ingestPool) submit(key int, batch []led.Primitive) {
+	w := key % len(p.queues)
+	p.pending.Add(1)
+	d := p.depths[w].Add(1)
+	if p.gauges != nil {
+		p.gauges[w].Set(d)
+	}
+	p.queues[w] <- batch
+}
+
+// close stops the workers after draining every queued batch. No submit may
+// run concurrently with or after close (the notifier is shut down first).
+func (p *ingestPool) close() {
+	p.closeOnce.Do(func() {
+		for _, q := range p.queues {
+			close(q)
+		}
+	})
+	p.wg.Wait()
+}
+
+// depth reports one worker's queued-batch count.
+func (p *ingestPool) depth(i int) int64 { return p.depths[i].Load() }
+
+// routeKey picks the ingest routing key for an event: its LED shard when
+// the event is known, else a stable hash so unknown events still spread
+// across workers and keep per-event FIFO order.
+func (a *Agent) routeKey(event string) int {
+	if sid := a.led.ShardID(event); sid >= 0 {
+		return sid
+	}
+	h := fnv.New32a()
+	h.Write([]byte(event))
+	return int(h.Sum32() & 0x7fffffff)
+}
+
+// DeliverBatch ingests one datagram that may carry several notifications
+// separated by newlines — the batched wire format the generated triggers
+// use to amortize syscalls under bursts. Lines are decoded, grouped by the
+// LED shard of their event, and handed to the ingest worker pool so
+// independent shards are signalled concurrently; with the pool disabled
+// (Config.IngestWorkers < 0) every line is delivered synchronously, in
+// order, exactly like repeated Deliver calls.
+func (a *Agent) DeliverBatch(datagram string) {
+	if a.ingestPool == nil {
+		for _, line := range strings.Split(datagram, "\n") {
+			if line != "" {
+				a.Deliver(line)
+			}
+		}
+		return
+	}
+	prims, badLines := decodeBatch(datagram)
+	a.ctr.notifReceived.Add(uint64(len(prims) + len(badLines)))
+	a.ctr.notifDropped.Add(uint64(len(badLines)))
+	for _, err := range badLines {
+		a.cfg.Logf("agent: dropping notification: %v", err)
+	}
+	var (
+		keys    []int
+		batches = make(map[int][]led.Primitive)
+	)
+	for _, p := range prims {
+		key := a.routeKey(p.Event)
+		if _, ok := batches[key]; !ok {
+			keys = append(keys, key)
+		}
+		batches[key] = append(batches[key], p)
+	}
+	for _, key := range keys {
+		a.ingestPool.submit(key, batches[key])
+	}
+}
+
+// decodeBatch splits a batched datagram into its notification lines and
+// parses each, returning the decoded primitives in wire order plus one
+// error per malformed line. Blank lines (a trailing newline) are neither
+// primitives nor errors.
+func decodeBatch(datagram string) (prims []led.Primitive, badLines []error) {
+	for _, line := range strings.Split(datagram, "\n") {
+		if line == "" {
+			continue
+		}
+		event, table, op, vno, err := parseNotification(line)
+		if err != nil {
+			badLines = append(badLines, err)
+			continue
+		}
+		prims = append(prims, led.Primitive{Event: event, Table: table, Op: op, VNo: vno})
+	}
+	return prims, badLines
+}
+
+// WaitIngest blocks until every batch submitted so far has been drained
+// into the LED — the barrier tests and benchmarks use before reading
+// detection results. Returns immediately when the pool is disabled.
+func (a *Agent) WaitIngest() {
+	if a.ingestPool != nil {
+		a.ingestPool.pending.Wait()
+	}
+}

@@ -1,6 +1,8 @@
 package agent
 
 import (
+	"fmt"
+
 	"github.com/activedb/ecaagent/internal/obs"
 )
 
@@ -102,6 +104,18 @@ func (a *Agent) initMetrics(reg *obs.Registry) {
 		"Resync sweeps executed against the authoritative vNo counters.")
 	m.resyncSec = reg.Histogram("eca_resync_seconds",
 		"Resync sweep duration, seconds.", nil)
+
+	if a.ingestPool != nil {
+		depth := reg.GaugeVec("eca_ingest_queue_depth",
+			"Notification batches queued per ingest worker.", "worker")
+		a.ingestPool.gauges = make([]*obs.Gauge, len(a.ingestPool.queues))
+		for i := range a.ingestPool.queues {
+			a.ingestPool.gauges[i] = depth.With(fmt.Sprintf("%d", i))
+		}
+		reg.GaugeFunc("eca_ingest_workers",
+			"Ingest workers draining notification batches into the LED.",
+			func() float64 { return float64(len(a.ingestPool.queues)) })
+	}
 
 	a.met = m
 	a.led.EnableMetrics(reg)

@@ -66,10 +66,59 @@ func FuzzParseNotification(f *testing.F) {
 	f.Add("ECA1||||")
 	f.Add(strings.Repeat("|", 100))
 	f.Add("ECA1|e|t|insert|99999999999999999999999")
+	f.Add("ECA1|e|t|update|0")
+	f.Add("ECA1|e|t|delete|-1")
+	f.Add("ECA1|e|t|insert|+7")
+	f.Add("ECA1|e|t|insert|07")
+	f.Add("GED1|site|e|t|insert|1")
+	f.Add("ECA1|e|t|insert|1\n")
+	f.Add("ECA1|e|t|insert|1\nECA1|e|t|insert|2")
+	f.Add("ECA1|" + strings.Repeat("x", 5000) + "|t|insert|1")
+	f.Add("eca1|e|t|insert|1")
+	f.Add("ECA1|e|t|INSERT|1")
 	f.Fuzz(func(t *testing.T, msg string) {
 		_, _, _, vno, err := parseNotification(msg)
 		if err == nil && vno < 0 {
 			t.Errorf("accepted negative vNo %d from %q", vno, msg)
+		}
+	})
+}
+
+// FuzzDecodeBatch fuzzes the batched-datagram decoder the UDP notifier
+// feeds: it must never panic, every decoded primitive must satisfy the
+// single-notification parser's invariants, and line accounting must add
+// up (decoded + dropped == non-blank lines).
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add("ECA1|db.u.ev|db.u.tbl|insert|1")
+	f.Add("ECA1|e|t|insert|1\nECA1|e|t|insert|2")
+	f.Add("ECA1|e|t|insert|1\nECA1|e2|t2|delete|9\nECA1|e3|t3|update|3")
+	f.Add("ECA1|e|t|insert|1\n\nECA1|e|t|insert|2\n")
+	f.Add("ECA1|e|t|insert|1\ngarbage\nECA1|e|t|insert|2")
+	f.Add("\n\n\n")
+	f.Add("ECA1|e|t|insert|99999999999999999999999\nECA1|e|t|insert|1")
+	f.Add(strings.Repeat("ECA1|e|t|insert|1\n", 50))
+	f.Fuzz(func(t *testing.T, datagram string) {
+		prims, bad := decodeBatch(datagram)
+		lines := 0
+		for _, line := range strings.Split(datagram, "\n") {
+			if line != "" {
+				lines++
+			}
+		}
+		if len(prims)+len(bad) != lines {
+			t.Errorf("accounting: %d prims + %d dropped != %d lines",
+				len(prims), len(bad), lines)
+		}
+		for _, p := range prims {
+			if p.VNo < 0 {
+				t.Errorf("decoded negative vNo %d", p.VNo)
+			}
+			if p.Event == "" {
+				t.Error("decoded empty event name")
+			}
+			if strings.Contains(p.Event, "\n") || strings.Contains(p.Table, "\n") {
+				t.Error("newline leaked into a decoded field")
+			}
 		}
 	})
 }

@@ -43,7 +43,7 @@ func (n *notifier) listen() {
 		n.agent.met.notifierDatagrams.Inc()
 		n.agent.met.notifierBytes.Add(uint64(sz))
 		msg := string(buf[:sz])
-		n.agent.Deliver(msg)
+		n.agent.DeliverBatch(msg)
 	}
 }
 

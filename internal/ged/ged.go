@@ -26,7 +26,11 @@ func globalName(event, site string) string { return event + "::" + site }
 
 // GED detects composite events spanning multiple sites.
 type GED struct {
-	mu    sync.Mutex
+	// mu guards sites and autoRegister. Signal takes it shared: the fan-in
+	// path from many forwarding sites only reads the registry once its
+	// site and event are known, so concurrent sites contend on the global
+	// LED's shard locks, not on a single GED mutex.
+	mu    sync.RWMutex
 	led   *led.LED
 	sites map[string]bool
 	// autoRegister lets Signal register unknown sites on first contact.
@@ -132,12 +136,29 @@ func (g *GED) DeclareSiteEvent(site, event string) error {
 // has an explicit registration contract.
 func (g *GED) Signal(site string, p led.Primitive) {
 	name := globalName(p.Event, site)
+	// Fast path: known site, known event — a shared lock suffices, so
+	// concurrent site streams fan into the LED without serializing here.
+	g.mu.RLock()
+	known := g.sites[site] && g.led.HasEvent(name)
+	g.mu.RUnlock()
+	if !known && !g.registerSlow(site, name) {
+		return
+	}
+	g.sigAccepted.Add(1)
+	p.Event = name
+	g.led.Signal(p)
+}
+
+// registerSlow is Signal's write path: first contact from a site (policy
+// permitting) or a site event's lazy registration. Reports whether the
+// signal may proceed.
+func (g *GED) registerSlow(site, name string) bool {
 	g.mu.Lock()
 	if !g.sites[site] {
 		if !g.autoRegister {
 			g.mu.Unlock()
 			g.sigRejected.Add(1)
-			return
+			return false
 		}
 		g.sites[site] = true
 		g.sigAutoReg.Add(1)
@@ -146,9 +167,7 @@ func (g *GED) Signal(site string, p led.Primitive) {
 		_ = g.led.DefinePrimitive(name)
 	}
 	g.mu.Unlock()
-	g.sigAccepted.Add(1)
-	p.Event = name
-	g.led.Signal(p)
+	return true
 }
 
 // DefineGlobalEvent registers a named composite over site-qualified

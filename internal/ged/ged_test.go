@@ -224,3 +224,84 @@ func TestTwoAgentsOneGED(t *testing.T) {
 		t.Fatal("global event never detected")
 	}
 }
+
+// TestConcurrentSiteFanIn drives many sites into the GED at once: the
+// shared-lock fast path plus the sharded global LED must accept every
+// signal exactly once, with each site's global composite detecting its own
+// occurrences independently.
+func TestConcurrentSiteFanIn(t *testing.T) {
+	g := New(led.NewManualClock(time.Unix(0, 0)))
+	const (
+		sites   = 6
+		perSite = 40
+	)
+	var (
+		mu    sync.Mutex
+		fired = make(map[string]int)
+	)
+	for i := 0; i < sites; i++ {
+		site := siteName(i)
+		if err := g.RegisterSite(site); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.DeclareSiteEvent(site, "tick"); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.DefineGlobalEvent("g_"+site, "tick::"+site); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddRule(&led.Rule{
+			Name: "r_" + site, Event: "g_" + site, Context: led.Chronicle,
+			Action: func(o *led.Occ) {
+				mu.Lock()
+				fired[o.Constituents[0].Event]++
+				mu.Unlock()
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each site's events live in their own shard of the global LED.
+	shardSet := make(map[int]bool)
+	for i := 0; i < sites; i++ {
+		shardSet[g.LED().ShardID(globalName("tick", siteName(i)))] = true
+	}
+	if len(shardSet) != sites {
+		t.Fatalf("site components share shards: %d distinct, want %d", len(shardSet), sites)
+	}
+
+	var wg sync.WaitGroup
+	base := time.Unix(0, 0)
+	for i := 0; i < sites; i++ {
+		wg.Add(1)
+		go func(site string) {
+			defer wg.Done()
+			for v := 1; v <= perSite; v++ {
+				g.Signal(site, led.Primitive{
+					Event: "tick", Table: "t", Op: "insert", VNo: v,
+					At: base.Add(time.Duration(v) * time.Millisecond),
+				})
+			}
+		}(siteName(i))
+	}
+	wg.Wait()
+	g.Wait()
+
+	st := g.Stats()
+	if st.SignalsAccepted != sites*perSite {
+		t.Errorf("SignalsAccepted = %d, want %d", st.SignalsAccepted, sites*perSite)
+	}
+	if st.SignalsRejected != 0 {
+		t.Errorf("SignalsRejected = %d, want 0", st.SignalsRejected)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < sites; i++ {
+		name := globalName("tick", siteName(i))
+		if fired[name] != perSite {
+			t.Errorf("site %d fired %d rules, want %d", i, fired[name], perSite)
+		}
+	}
+}
+
+func siteName(i int) string { return string(rune('A'+i)) + "site" }

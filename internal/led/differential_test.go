@@ -1,0 +1,240 @@
+package led
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The differential equivalence suite is the load-bearing proof behind the
+// sharded detector: every Snoop operator, under all four parameter
+// contexts and all three coupling modes, is driven through a single-shard
+// LED (Options{MaxShards: 1} — the historical single-lock detector) and a
+// fully sharded LED on the same ManualClock event script, with four
+// independent copies of the rule set so the sharded side actually splits
+// into multiple shards. The observable occurrence streams — event name,
+// context, occurrence time, and the full constituent list — must be
+// identical.
+
+// diffStep is one step of a differential event script.
+type diffStep struct {
+	kind  string        // "sig" | "adv" | "flush"
+	event string        // for sig: unprefixed event name (e1, e2, e3)
+	d     time.Duration // for adv
+}
+
+func sig(event string) diffStep    { return diffStep{kind: "sig", event: event} }
+func adv(d time.Duration) diffStep { return diffStep{kind: "adv", d: d} }
+func flushDeferred() diffStep      { return diffStep{kind: "flush"} }
+
+// diffCase is one operator under test: an expression template over
+// %[1]s..%[3]s (the prefixed primitive names) and a script that exercises
+// initiators, middles, terminators, overlapping windows and timers.
+type diffCase struct {
+	name   string
+	expr   string
+	script []diffStep
+}
+
+var diffCases = []diffCase{
+	{"OR", "%[1]s | %[2]s", []diffStep{
+		sig("e1"), sig("e2"), sig("e1"), sig("e3"), sig("e2"),
+	}},
+	{"AND", "%[1]s ^ %[2]s", []diffStep{
+		sig("e1"), sig("e1"), sig("e2"), sig("e2"), sig("e1"), sig("e2"), sig("e2"),
+	}},
+	{"SEQ", "%[1]s ; %[2]s", []diffStep{
+		sig("e1"), sig("e1"), sig("e2"), sig("e1"), sig("e2"), sig("e2"),
+	}},
+	{"NOT", "NOT(%[1]s, %[3]s, %[2]s)", []diffStep{
+		sig("e1"), sig("e2"), sig("e1"), sig("e1"), sig("e3"), sig("e2"), sig("e1"), sig("e2"),
+	}},
+	{"A", "A(%[1]s, %[2]s, %[3]s)", []diffStep{
+		sig("e1"), sig("e2"), sig("e1"), sig("e2"), sig("e3"), sig("e2"), sig("e1"), sig("e2"), sig("e3"),
+	}},
+	{"Astar", "A*(%[1]s, %[2]s, %[3]s)", []diffStep{
+		sig("e1"), sig("e2"), sig("e1"), sig("e2"), sig("e3"), sig("e2"), sig("e3"), sig("e1"), sig("e3"),
+	}},
+	{"P", "P(%[1]s, [2 sec], %[2]s)", []diffStep{
+		sig("e1"), adv(5 * time.Second), sig("e1"), adv(3 * time.Second), sig("e2"),
+		sig("e1"), adv(2 * time.Second), sig("e2"),
+	}},
+	{"Pstar", "P*(%[1]s, [2 sec], %[2]s)", []diffStep{
+		sig("e1"), adv(5 * time.Second), sig("e2"), sig("e1"), adv(7 * time.Second), sig("e2"),
+	}},
+	{"PLUS", "%[1]s PLUS [2 sec]", []diffStep{
+		sig("e1"), adv(3 * time.Second), sig("e1"), sig("e1"), adv(5 * time.Second),
+	}},
+}
+
+// diffRecorder collects canonical occurrence strings per rule-set copy.
+type diffRecorder struct {
+	mu    sync.Mutex
+	byKey map[string][]string
+}
+
+func (r *diffRecorder) record(key string, o *Occ) {
+	s := canonOcc(o)
+	r.mu.Lock()
+	r.byKey[key] = append(r.byKey[key], s)
+	r.mu.Unlock()
+}
+
+// canonOcc renders every observable field of an occurrence.
+func canonOcc(o *Occ) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s@%d[", o.Event, o.Context, o.At.UnixNano())
+	for i, c := range o.Constituents {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%s:%d@%d", c.Event, c.Op, c.VNo, c.At.UnixNano())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+const diffCopies = 4
+
+// buildDiffLED defines diffCopies independent copies of the operator's
+// rule set on l and attaches a recording rule per copy.
+func buildDiffLED(t *testing.T, l *LED, c diffCase, ctx Context, coupling Coupling, rec *diffRecorder) {
+	t.Helper()
+	for k := 0; k < diffCopies; k++ {
+		pfx := fmt.Sprintf("c%d_", k)
+		for _, p := range []string{"e1", "e2", "e3"} {
+			if err := l.DefinePrimitive(pfx + p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		expr := fmt.Sprintf(c.expr, pfx+"e1", pfx+"e2", pfx+"e3")
+		defComposite(t, &harness{led: l}, pfx+"comp", expr)
+		key := pfx
+		if err := l.AddRule(&Rule{
+			Name:     pfx + "r",
+			Event:    pfx + "comp",
+			Context:  ctx,
+			Coupling: coupling,
+			Action:   func(o *Occ) { rec.record(key, o) },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runDiffScript drives both detectors through the script in lockstep on
+// their shared clock.
+func runDiffScript(c diffCase, clock *ManualClock, leds ...*LED) {
+	vno := 0
+	for _, st := range c.script {
+		switch st.kind {
+		case "sig":
+			vno++
+			clock.Advance(time.Second) // distinct, strictly increasing times
+			at := clock.Now()
+			for k := 0; k < diffCopies; k++ {
+				p := Primitive{
+					Event: fmt.Sprintf("c%d_%s", k, st.event),
+					Table: st.event + "_tbl", Op: "insert", VNo: vno, At: at,
+				}
+				for _, l := range leds {
+					l.Signal(p)
+				}
+			}
+		case "adv":
+			clock.Advance(st.d)
+		case "flush":
+			for _, l := range leds {
+				l.FlushDeferred()
+			}
+		}
+	}
+}
+
+func TestDifferentialShardedEquivalence(t *testing.T) {
+	contexts := []Context{Recent, Chronicle, Continuous, Cumulative}
+	couplings := []Coupling{Immediate, Deferred, Detached}
+	for _, c := range diffCases {
+		for _, ctx := range contexts {
+			for _, coupling := range couplings {
+				t.Run(fmt.Sprintf("%s/%s/%s", c.name, ctx, coupling), func(t *testing.T) {
+					clock := NewManualClock(t0)
+					oracle := NewWithOptions(clock, Options{MaxShards: 1})
+					sharded := New(clock)
+					oracleRec := &diffRecorder{byKey: make(map[string][]string)}
+					shardedRec := &diffRecorder{byKey: make(map[string][]string)}
+					buildDiffLED(t, oracle, c, ctx, coupling, oracleRec)
+					buildDiffLED(t, sharded, c, ctx, coupling, shardedRec)
+
+					// The whole point: the oracle holds one lock, while in
+					// the sharded detector each copy's composite lives in
+					// its own shard. (Primitives an operator never
+					// references stay in singleton shards of their own, so
+					// total ShardCount may exceed diffCopies.)
+					if got := oracle.ShardCount(); got != 1 {
+						t.Fatalf("oracle shards = %d, want 1", got)
+					}
+					compShards := make(map[int]bool)
+					for k := 0; k < diffCopies; k++ {
+						compShards[sharded.ShardID(fmt.Sprintf("c%d_comp", k))] = true
+					}
+					if len(compShards) != diffCopies {
+						t.Fatalf("composites share shards: %d distinct, want %d", len(compShards), diffCopies)
+					}
+
+					runDiffScript(c, clock, oracle, sharded)
+					if coupling == Deferred {
+						oracle.FlushDeferred()
+						sharded.FlushDeferred()
+					}
+					oracle.Wait()
+					sharded.Wait()
+
+					for k := 0; k < diffCopies; k++ {
+						key := fmt.Sprintf("c%d_", k)
+						want := append([]string(nil), oracleRec.byKey[key]...)
+						got := append([]string(nil), shardedRec.byKey[key]...)
+						if coupling == Detached {
+							// Detached execution order is unspecified;
+							// compare as multisets.
+							sort.Strings(want)
+							sort.Strings(got)
+						}
+						if len(want) == 0 && len(got) == 0 {
+							continue
+						}
+						if strings.Join(want, "\n") != strings.Join(got, "\n") {
+							t.Errorf("copy %s: occurrence streams diverge\noracle:\n  %s\nsharded:\n  %s",
+								key, strings.Join(want, "\n  "), strings.Join(got, "\n  "))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialProducesOccurrences guards the suite against vacuous
+// success: every operator must emit at least one occurrence in at least
+// one context, or the script is not exercising it.
+func TestDifferentialProducesOccurrences(t *testing.T) {
+	for _, c := range diffCases {
+		total := 0
+		for _, ctx := range []Context{Recent, Chronicle, Continuous, Cumulative} {
+			clock := NewManualClock(t0)
+			l := New(clock)
+			rec := &diffRecorder{byKey: make(map[string][]string)}
+			buildDiffLED(t, l, c, ctx, Immediate, rec)
+			runDiffScript(c, clock, l)
+			for _, occs := range rec.byKey {
+				total += len(occs)
+			}
+		}
+		if total == 0 {
+			t.Errorf("operator %s: script produced no occurrences in any context", c.name)
+		}
+	}
+}

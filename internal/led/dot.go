@@ -13,11 +13,11 @@ import (
 // event. Useful for debugging rule bases; `ecasql` users can dump it via
 // the agent's LED accessor.
 func (l *LED) Dot() string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 
-	names := make([]string, 0, len(l.nodes))
-	for n := range l.nodes {
+	names := make([]string, 0, len(l.eventShard))
+	for n := range l.eventShard {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -26,7 +26,7 @@ func (l *LED) Dot() string {
 	b.WriteString("digraph eventgraph {\n")
 	b.WriteString("  rankdir=BT;\n")
 	for _, name := range names {
-		n := l.nodes[name]
+		n := l.eventShard[name].nodes[name]
 		if n.kind == kPrimitive {
 			fmt.Fprintf(&b, "  %s [shape=box, label=%s];\n", dotID(name), dotQ(name))
 			continue
@@ -42,13 +42,13 @@ func (l *LED) Dot() string {
 			}
 		}
 	}
-	ruleNames := make([]string, 0, len(l.rules))
-	for rn := range l.rules {
+	ruleNames := make([]string, 0, len(l.ruleShard))
+	for rn := range l.ruleShard {
 		ruleNames = append(ruleNames, rn)
 	}
 	sort.Strings(ruleNames)
 	for _, rn := range ruleNames {
-		r := l.rules[rn]
+		r := l.ruleShard[rn].rules[rn]
 		id := dotID("rule_" + rn)
 		label := fmt.Sprintf("%s\\n[%s, %s, prio %d]", rn, r.Coupling, r.Context, r.Priority)
 		fmt.Fprintf(&b, "  %s [shape=note, label=%s];\n", id, dotQ(label))

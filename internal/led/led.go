@@ -5,10 +5,19 @@
 // parameter contexts (RECENT, CHRONICLE, CONTINUOUS, CUMULATIVE); rules
 // attached to events run with IMMEDIATE, DEFERRED or DETACHED coupling and
 // priority ordering.
+//
+// Detection is sharded by connected component of the event graph: rules and
+// composites that share no event are provably independent, so each
+// component lives in its own shard with its own lock and independent rule
+// sets detect in parallel. Signal routes through a read-locked event→shard
+// index; DefineComposite merges the components it connects and DropEvent
+// splits any component a drop disconnects (see DESIGN.md, "Sharded
+// detection").
 package led
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -188,89 +197,164 @@ type firing struct {
 	occ  *Occ
 }
 
+// Options tunes a LED.
+type Options struct {
+	// MaxShards caps the number of event-graph shards. 0 means one shard
+	// per connected component (the default); 1 reproduces the historical
+	// single-lock detector — every event in one shard behind one mutex —
+	// which the differential equivalence suite uses as its oracle.
+	MaxShards int
+	// DetachedWorkers caps the goroutines running DETACHED rule actions
+	// (0 selects 4×GOMAXPROCS). Detached firings beyond the cap queue and
+	// run as workers free up instead of each spawning a goroutine.
+	DetachedWorkers int
+}
+
 // LED is the local event detector. All exported methods are safe for
 // concurrent use.
+//
+// Lock order: mu (topology: shard set, event→shard and rule→shard indexes,
+// every node's shard pointer) before any shard.mu, before defMu. Signal and
+// timer dispatch hold mu for read only, so independent shards detect
+// concurrently; definition and drop operations hold mu for write, which
+// excludes all detection and makes rebalancing safe without touching shard
+// locks.
 type LED struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	clock Clock
-	nodes map[string]*node
-	rules map[string]*Rule
-	// refs counts how many composites reference each named event, so drops
-	// can be refused while dependents exist.
-	refs map[string]int
 
+	shards     map[int]*shard
+	eventShard map[string]*shard // event name → owning shard
+	ruleShard  map[string]*shard // rule name → owning shard
+	nextShard  int
+	maxShards  int
+
+	// defMu guards the global deferred queue. Deferred firings from every
+	// shard funnel here so FlushDeferred preserves the pre-shard priority
+	// ordering across independent rule sets.
+	defMu    sync.Mutex
 	deferred []firing
-	// pending accumulates rule firings during one graph propagation; it is
-	// only touched under mu.
-	pending []firing
-	// detachedWG tracks detached rule goroutines for clean shutdown.
-	detachedWG sync.WaitGroup
+
+	// pool bounds DETACHED rule concurrency (it also owns the WaitGroup
+	// behind Wait).
+	pool detachedPool
 
 	// met holds the optional instruments (see EnableMetrics); loaded
 	// atomically so Signal never takes an extra lock for them.
 	met metAtomic
 }
 
-// New returns a LED. A nil clock selects the real-time clock.
-func New(clock Clock) *LED {
+// New returns a LED with default options. A nil clock selects the
+// real-time clock.
+func New(clock Clock) *LED { return NewWithOptions(clock, Options{}) }
+
+// NewWithOptions returns a LED with explicit sharding and pool options.
+func NewWithOptions(clock Clock, opt Options) *LED {
 	if clock == nil {
 		clock = realClock{}
 	}
-	return &LED{
-		clock: clock,
-		nodes: make(map[string]*node),
-		rules: make(map[string]*Rule),
-		refs:  make(map[string]int),
+	workers := opt.DetachedWorkers
+	if workers <= 0 {
+		workers = 4 * runtime.GOMAXPROCS(0)
 	}
+	l := &LED{
+		clock:      clock,
+		shards:     make(map[int]*shard),
+		eventShard: make(map[string]*shard),
+		ruleShard:  make(map[string]*shard),
+		maxShards:  opt.MaxShards,
+	}
+	l.pool.maxWorkers = workers
+	l.pool.run = l.runRule
+	return l
 }
 
-// DefinePrimitive registers a primitive event name.
+// DefinePrimitive registers a primitive event name. A fresh primitive is
+// its own connected component, so it opens a new shard (unless MaxShards
+// forces placement into an existing one).
 func (l *LED) DefinePrimitive(name string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, ok := l.nodes[name]; ok {
+	if _, ok := l.eventShard[name]; ok {
 		return fmt.Errorf("led: event %q already defined", name)
 	}
-	l.nodes[name] = &node{led: l, name: name, kind: kPrimitive}
+	sh := l.placeShard()
+	sh.nodes[name] = &node{led: l, sh: sh, name: name, kind: kPrimitive}
+	l.eventShard[name] = sh
 	return nil
 }
 
 // DefineComposite registers a named composite event over a Snoop
 // expression. Every event referenced by the expression must already be
 // defined (primitive or composite), enabling the event reuse the paper
-// lists as contribution 2.
+// lists as contribution 2. The components of the referenced events are
+// merged into one shard — they are no longer independent — and the
+// composite's graph is built there.
 func (l *LED) DefineComposite(name string, expr snoop.Expr) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, ok := l.nodes[name]; ok {
+	if _, ok := l.eventShard[name]; ok {
 		return fmt.Errorf("led: event %q already defined", name)
 	}
-	n, err := l.build(expr)
+	refs := snoop.EventNames(expr)
+	// Validate before merging so a failed define never changes topology.
+	for _, ref := range refs {
+		if _, ok := l.eventShard[ref]; !ok {
+			return fmt.Errorf("led: event %q is not defined", ref)
+		}
+	}
+	if err := validateExpr(expr); err != nil {
+		return err
+	}
+	sh := l.mergeFor(refs)
+	n, err := sh.build(expr)
 	if err != nil {
 		return err
 	}
 	n.name = name
-	l.nodes[name] = n
-	for _, ref := range snoop.EventNames(expr) {
-		l.refs[ref]++
+	sh.nodes[name] = n
+	l.eventShard[name] = sh
+	for _, ref := range refs {
+		sh.refs[ref]++
 	}
 	return nil
 }
 
+// validateExpr rejects expressions build would refuse, without building.
+func validateExpr(expr snoop.Expr) error {
+	var err error
+	snoop.Walk(expr, func(e snoop.Expr) {
+		if err != nil {
+			return
+		}
+		switch x := e.(type) {
+		case *snoop.Periodic:
+			if x.Period <= 0 {
+				err = fmt.Errorf("led: periodic event needs a positive period")
+			}
+		case *snoop.Plus:
+			if x.Delta < 0 {
+				err = fmt.Errorf("led: PLUS needs a non-negative delay")
+			}
+		}
+	})
+	return err
+}
+
 // HasEvent reports whether an event name is defined.
 func (l *LED) HasEvent(name string) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	_, ok := l.nodes[name]
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.eventShard[name]
 	return ok
 }
 
 // EventNames lists defined events in sorted order.
 func (l *LED) EventNames() []string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]string, 0, len(l.nodes))
-	for n := range l.nodes {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.eventShard))
+	for n := range l.eventShard {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -278,29 +362,44 @@ func (l *LED) EventNames() []string {
 }
 
 // DropEvent removes a named event. It fails while other composites
-// reference it or rules are attached to it.
+// reference it or rules are attached to it. Dropping a composite can
+// disconnect the component it held together; the shard is then split so
+// the now-independent rule sets stop sharing a lock.
 func (l *LED) DropEvent(name string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n, ok := l.nodes[name]
+	sh, ok := l.eventShard[name]
 	if !ok {
 		return fmt.Errorf("led: event %q not defined", name)
 	}
-	if l.refs[name] > 0 {
+	if sh.refs[name] > 0 {
 		return fmt.Errorf("led: event %q is referenced by other events", name)
 	}
-	for _, r := range l.rules {
+	for _, r := range sh.rules {
 		if r.Event == name {
 			return fmt.Errorf("led: event %q has rule %q attached", name, r.Name)
 		}
 	}
+	n := sh.nodes[name]
 	n.shutdown()
-	delete(l.nodes, name)
+	// Unsubscribe the dropped graph from its surviving constituents:
+	// without this, a later split would leave cross-shard subscriptions
+	// into the dropped composite's orphaned operator state.
+	dropped := make(map[*node]bool)
+	forEachOwnedNode(n, func(m *node) { dropped[m] = true })
+	for _, root := range sh.nodes {
+		forEachOwnedNode(root, func(m *node) { m.pruneSubs(dropped) })
+	}
+	delete(sh.nodes, name)
+	delete(l.eventShard, name)
 	if n.expr != nil {
 		for _, ref := range snoop.EventNames(n.expr) {
-			l.refs[ref]--
+			if sh.refs[ref]--; sh.refs[ref] <= 0 {
+				delete(sh.refs, ref)
+			}
 		}
 	}
+	l.resplit(sh)
 	return nil
 }
 
@@ -321,42 +420,50 @@ type Rule struct {
 
 // AddRule attaches a rule, activating detection of its event in its
 // context. Multiple rules on the same event are supported (lifting the
-// native one-trigger-per-operation restriction of §2.2).
+// native one-trigger-per-operation restriction of §2.2). The rule lives in
+// its event's shard; it references no other event, so no components merge.
 func (l *LED) AddRule(r *Rule) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if r.Name == "" || r.Action == nil {
 		return fmt.Errorf("led: rule needs a name and an action")
 	}
-	if _, ok := l.rules[r.Name]; ok {
+	if _, ok := l.ruleShard[r.Name]; ok {
 		return fmt.Errorf("led: rule %q already defined", r.Name)
 	}
-	n, ok := l.nodes[r.Event]
+	sh, ok := l.eventShard[r.Event]
 	if !ok {
 		return fmt.Errorf("led: rule %q references undefined event %q", r.Name, r.Event)
 	}
-	l.rules[r.Name] = r
+	n := sh.nodes[r.Event]
+	sh.rules[r.Name] = r
+	l.ruleShard[r.Name] = sh
 	n.activate(r.Context)
 	n.subscribeRule(r, func(occ *Occ) {
 		if r.disabled {
 			return
 		}
-		l.pending = append(l.pending, firing{rule: r, occ: occ})
+		// n.sh, not a captured shard: rebalancing moves the node (and the
+		// propagation that reaches this closure) to its current shard.
+		n.sh.pending = append(n.sh.pending, firing{rule: r, occ: occ})
 	})
 	return nil
 }
 
-// DropRule detaches a rule.
+// DropRule detaches a rule. Components are keyed by composite references,
+// not rules, so no split can result.
 func (l *LED) DropRule(name string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	r, ok := l.rules[name]
+	sh, ok := l.ruleShard[name]
 	if !ok {
 		return fmt.Errorf("led: rule %q not defined", name)
 	}
+	r := sh.rules[name]
 	r.disabled = true
-	delete(l.rules, name)
-	if n, ok := l.nodes[r.Event]; ok {
+	delete(sh.rules, name)
+	delete(l.ruleShard, name)
+	if n, ok := sh.nodes[r.Event]; ok {
 		n.unsubscribeRule(r)
 	}
 	return nil
@@ -364,10 +471,10 @@ func (l *LED) DropRule(name string) error {
 
 // RuleNames lists attached rules in sorted order.
 func (l *LED) RuleNames() []string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]string, 0, len(l.rules))
-	for n := range l.rules {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.ruleShard))
+	for n := range l.ruleShard {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -376,7 +483,10 @@ func (l *LED) RuleNames() []string {
 
 // Signal injects a primitive event occurrence (called by the agent's Event
 // Notifier when a server notification arrives). Unknown events are
-// ignored, matching the notifier's tolerance of stray datagrams.
+// ignored, matching the notifier's tolerance of stray datagrams. The
+// event→shard index is consulted under a read lock, so signals into
+// independent components propagate concurrently; only signals into the
+// same component serialize on that shard's lock.
 func (l *LED) Signal(p Primitive) {
 	if p.At.IsZero() {
 		p.At = l.clock.Now()
@@ -384,49 +494,78 @@ func (l *LED) Signal(p Primitive) {
 	if m := l.met.Load(); m != nil {
 		defer m.detectSec.ObserveSince(time.Now())
 	}
-	l.dispatch(func() {
-		n, ok := l.nodes[p.Event]
-		if !ok || n.kind != kPrimitive {
+	l.mu.RLock()
+	sh, ok := l.eventShard[p.Event]
+	if !ok {
+		l.mu.RUnlock()
+		return
+	}
+	fired := sh.collect(func() {
+		n := sh.nodes[p.Event]
+		if n == nil || n.kind != kPrimitive {
 			return
 		}
 		occ := &Occ{Event: p.Event, At: p.At, Constituents: []Primitive{p}}
 		n.emitPrimitive(occ)
 	})
+	l.mu.RUnlock()
+	l.runFirings(fired)
 }
 
-// dispatch runs fn under the lock, then executes any rule firings it
-// produced: immediate synchronously (by priority), deferred queued,
-// detached in their own goroutines.
-func (l *LED) dispatch(fn func()) {
-	l.mu.Lock()
-	l.pending = nil
-	fn()
-	fired := l.pending
-	l.pending = nil
-	// Stable-sort by descending priority; equal priorities keep detection
-	// order.
-	sort.SliceStable(fired, func(i, j int) bool {
-		return fired[i].rule.Priority > fired[j].rule.Priority
-	})
-	var deferredNow []firing
-	for _, f := range fired {
-		if f.rule.Coupling == Deferred {
-			deferredNow = append(deferredNow, f)
-		}
+// ShardID reports the shard currently owning an event (-1 when the event
+// is not defined). Callers batching signals — the agent's notifier — use
+// it to group co-shard events; the id is stable between definition
+// changes.
+func (l *LED) ShardID(event string) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if sh, ok := l.eventShard[event]; ok {
+		return sh.id
 	}
-	l.deferred = append(l.deferred, deferredNow...)
-	l.mu.Unlock()
+	return -1
+}
 
+// ShardCount reports the number of shards (connected components, modulo
+// the MaxShards cap).
+func (l *LED) ShardCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.shards)
+}
+
+// ShardSizes reports the per-shard occupancy (number of named events),
+// largest first — the skew a rebalance aims to keep small.
+func (l *LED) ShardSizes() []int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]int, 0, len(l.shards))
+	for _, sh := range l.shards {
+		out = append(out, len(sh.nodes))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// dispatchNode runs fn in the shard currently owning n (timer callbacks:
+// periodic ticks, PLUS delays, absolute-time events), then executes the
+// rule firings it produced.
+func (l *LED) dispatchNode(n *node, fn func()) {
+	l.mu.RLock()
+	fired := n.sh.collect(fn)
+	l.mu.RUnlock()
+	l.runFirings(fired)
+}
+
+// runFirings executes rule firings detection produced: immediate
+// synchronously (already in priority order), detached via the bounded
+// worker pool. Deferred firings were queued by collect.
+func (l *LED) runFirings(fired []firing) {
 	for _, f := range fired {
 		switch f.rule.Coupling {
 		case Immediate:
 			l.runRule(f)
 		case Detached:
-			l.detachedWG.Add(1)
-			go func(f firing) {
-				defer l.detachedWG.Done()
-				l.runRule(f)
-			}(f)
+			l.pool.submit(f)
 		}
 	}
 }
@@ -441,35 +580,47 @@ func (l *LED) runRule(f firing) {
 // FlushDeferred runs all queued deferred rule firings (the agent calls
 // this at transaction boundaries).
 func (l *LED) FlushDeferred() {
-	l.mu.Lock()
-	// Filter disabled rules under the lock: DropRule flips disabled while
-	// holding mu, so reading it outside would race.
-	queued := l.deferred[:0]
-	for _, f := range l.deferred {
+	l.defMu.Lock()
+	queued := l.deferred
+	l.deferred = nil
+	l.defMu.Unlock()
+	// Filter disabled rules under the topology read lock: DropRule flips
+	// disabled while holding it for write, so reading it outside would
+	// race.
+	l.mu.RLock()
+	kept := queued[:0]
+	for _, f := range queued {
 		if !f.rule.disabled {
-			queued = append(queued, f)
+			kept = append(kept, f)
 		}
 	}
-	l.deferred = nil
-	l.mu.Unlock()
-	sort.SliceStable(queued, func(i, j int) bool {
-		return queued[i].rule.Priority > queued[j].rule.Priority
+	l.mu.RUnlock()
+	sort.SliceStable(kept, func(i, j int) bool {
+		return kept[i].rule.Priority > kept[j].rule.Priority
 	})
-	for _, f := range queued {
+	for _, f := range kept {
 		l.runRule(f)
 	}
 }
 
 // DeferredCount reports the number of queued deferred firings.
 func (l *LED) DeferredCount() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.defMu.Lock()
+	defer l.defMu.Unlock()
 	return len(l.deferred)
 }
 
-// Wait blocks until all detached rule executions launched so far finish
-// (used by tests and orderly shutdown).
-func (l *LED) Wait() { l.detachedWG.Wait() }
+// Wait blocks until all detached rule executions submitted so far finish
+// (used by tests and orderly shutdown). With the bounded pool this drains
+// the detached queue, not just in-flight goroutines.
+func (l *LED) Wait() { l.pool.wait() }
+
+// DetachedStats reports the detached pool's current queue depth, running
+// workers, and the peak worker count observed (which the burst regression
+// test asserts stays at the cap).
+func (l *LED) DetachedStats() (queued, workers, peak int) {
+	return l.pool.stats()
+}
 
 // Now exposes the detector's clock.
 func (l *LED) Now() time.Time { return l.clock.Now() }

@@ -26,17 +26,23 @@ const (
 
 // sub is one subscription to a node's occurrences in one context. rule is
 // set for rule subscriptions so DropRule can remove them; parent-operator
-// subscriptions leave it nil.
+// subscriptions carry the owning operator node instead, so DropEvent can
+// prune a dropped composite's listeners from its surviving constituents.
 type sub struct {
-	ctx  Context
-	fn   func(*Occ)
-	rule *Rule
+	ctx   Context
+	fn    func(*Occ)
+	rule  *Rule
+	owner *node
 }
 
-// node is one vertex of the event graph. All node methods run under the
-// LED mutex.
+// node is one vertex of the event graph. All node methods run with the
+// owning shard's lock held (detection) or the LED topology lock held for
+// write (definition, rebalancing).
 type node struct {
-	led      *LED
+	led *LED // immutable: clock, metrics, timer dispatch entry
+	// sh is the shard currently owning this node; rebalancing rewrites it
+	// under the LED topology write lock.
+	sh       *shard
 	name     string // registered name; "" for anonymous operator nodes
 	kind     kind
 	children []*node
@@ -73,33 +79,34 @@ type window struct {
 	seq int
 }
 
-// build constructs the (anonymous) graph for an expression. Called under
-// the LED mutex.
-func (l *LED) build(expr snoop.Expr) (*node, error) {
+// build constructs the (anonymous) graph for an expression inside this
+// shard. Caller holds the LED topology lock for write; every event the
+// expression references has already been merged into this shard.
+func (sh *shard) build(expr snoop.Expr) (*node, error) {
 	switch e := expr.(type) {
 	case *snoop.EventRef:
-		n, ok := l.nodes[e.Name]
+		n, ok := sh.nodes[e.Name]
 		if !ok {
 			return nil, fmt.Errorf("led: event %q is not defined", e.Name)
 		}
 		// Wrap named nodes in a pass-through so the composite root can be
 		// renamed without renaming the shared constituent.
-		root := &node{led: l, kind: kOr, children: []*node{n}, expr: expr}
+		root := &node{led: sh.led, sh: sh, kind: kOr, children: []*node{n}, expr: expr}
 		return root, nil
 	case *snoop.Or:
-		return l.buildBinary(kOr, e.L, e.R, expr)
+		return sh.buildBinary(kOr, e.L, e.R, expr)
 	case *snoop.And:
-		return l.buildBinary(kAnd, e.L, e.R, expr)
+		return sh.buildBinary(kAnd, e.L, e.R, expr)
 	case *snoop.Seq:
-		return l.buildBinary(kSeq, e.L, e.R, expr)
+		return sh.buildBinary(kSeq, e.L, e.R, expr)
 	case *snoop.Not:
-		return l.buildNary(kNot, []snoop.Expr{e.Start, e.Middle, e.End}, expr, 0, time.Time{})
+		return sh.buildNary(kNot, []snoop.Expr{e.Start, e.Middle, e.End}, expr, 0, time.Time{})
 	case *snoop.Aperiodic:
 		k := kAper
 		if e.Star {
 			k = kAperStar
 		}
-		return l.buildNary(k, []snoop.Expr{e.Start, e.Mid, e.End}, expr, 0, time.Time{})
+		return sh.buildNary(k, []snoop.Expr{e.Start, e.Mid, e.End}, expr, 0, time.Time{})
 	case *snoop.Periodic:
 		k := kPer
 		if e.Star {
@@ -108,41 +115,41 @@ func (l *LED) build(expr snoop.Expr) (*node, error) {
 		if e.Period <= 0 {
 			return nil, fmt.Errorf("led: periodic event needs a positive period")
 		}
-		return l.buildNary(k, []snoop.Expr{e.Start, e.End}, expr, e.Period, time.Time{})
+		return sh.buildNary(k, []snoop.Expr{e.Start, e.End}, expr, e.Period, time.Time{})
 	case *snoop.Plus:
 		if e.Delta < 0 {
 			return nil, fmt.Errorf("led: PLUS needs a non-negative delay")
 		}
-		return l.buildNary(kPlus, []snoop.Expr{e.E}, expr, e.Delta, time.Time{})
+		return sh.buildNary(kPlus, []snoop.Expr{e.E}, expr, e.Delta, time.Time{})
 	case *snoop.Temporal:
-		return &node{led: l, kind: kTemporal, absAt: e.At, expr: expr}, nil
+		return &node{led: sh.led, sh: sh, kind: kTemporal, absAt: e.At, expr: expr}, nil
 	default:
 		return nil, fmt.Errorf("led: unsupported expression %T", expr)
 	}
 }
 
-func (l *LED) buildBinary(k kind, le, re snoop.Expr, expr snoop.Expr) (*node, error) {
-	ln, err := l.build(le)
+func (sh *shard) buildBinary(k kind, le, re snoop.Expr, expr snoop.Expr) (*node, error) {
+	ln, err := sh.build(le)
 	if err != nil {
 		return nil, err
 	}
-	rn, err := l.build(re)
+	rn, err := sh.build(re)
 	if err != nil {
 		return nil, err
 	}
-	return &node{led: l, kind: k, children: []*node{ln, rn}, expr: expr}, nil
+	return &node{led: sh.led, sh: sh, kind: k, children: []*node{ln, rn}, expr: expr}, nil
 }
 
-func (l *LED) buildNary(k kind, exprs []snoop.Expr, expr snoop.Expr, d time.Duration, at time.Time) (*node, error) {
+func (sh *shard) buildNary(k kind, exprs []snoop.Expr, expr snoop.Expr, d time.Duration, at time.Time) (*node, error) {
 	children := make([]*node, len(exprs))
 	for i, e := range exprs {
-		c, err := l.build(e)
+		c, err := sh.build(e)
 		if err != nil {
 			return nil, err
 		}
 		children[i] = c
 	}
-	return &node{led: l, kind: k, children: children, expr: expr, dur: d, absAt: at}, nil
+	return &node{led: sh.led, sh: sh, kind: k, children: children, expr: expr, dur: d, absAt: at}, nil
 }
 
 // eventName is the name occurrences of this node carry.
@@ -156,9 +163,9 @@ func (n *node) eventName() string {
 	return "<anonymous>"
 }
 
-// subscribe attaches a context-tagged listener.
-func (n *node) subscribe(ctx Context, fn func(*Occ)) {
-	n.subs = append(n.subs, sub{ctx: ctx, fn: fn})
+// subscribe attaches a context-tagged listener owned by an operator node.
+func (n *node) subscribe(ctx Context, owner *node, fn func(*Occ)) {
+	n.subs = append(n.subs, sub{ctx: ctx, fn: fn, owner: owner})
 }
 
 // subscribeRule attaches a rule's listener; unsubscribeRule removes it.
@@ -170,6 +177,19 @@ func (n *node) unsubscribeRule(r *Rule) {
 	kept := n.subs[:0]
 	for _, s := range n.subs {
 		if s.rule != r {
+			kept = append(kept, s)
+		}
+	}
+	n.subs = kept
+}
+
+// pruneSubs removes subscriptions owned by dropped operator nodes (called
+// when their composite is dropped, so later shard splits cannot leave
+// cross-shard listeners behind).
+func (n *node) pruneSubs(dropped map[*node]bool) {
+	kept := n.subs[:0]
+	for _, s := range n.subs {
+		if s.owner == nil || !dropped[s.owner] {
 			kept = append(kept, s)
 		}
 	}
@@ -199,7 +219,7 @@ func (n *node) activate(ctx Context) {
 		for i, c := range n.children {
 			c.activate(ctx)
 			idx := i
-			c.subscribe(ctx, func(occ *Occ) { n.onChild(ctx, idx, occ) })
+			c.subscribe(ctx, n, func(occ *Occ) { n.onChild(ctx, idx, occ) })
 		}
 	}
 }
@@ -542,7 +562,9 @@ func (n *node) onPeriodic(ctx Context, st *opState, idx int, occ *Occ) {
 	}
 }
 
-// armPeriodic schedules the next tick of a periodic window.
+// armPeriodic schedules the next tick of a periodic window. The timer
+// callback dispatches through the node's *current* shard — the component
+// may have been rebalanced between arming and firing.
 func (n *node) armPeriodic(ctx Context, st *opState, w *window) {
 	id := n.nextID
 	n.nextID++
@@ -550,7 +572,7 @@ func (n *node) armPeriodic(ctx Context, st *opState, w *window) {
 		n.cancels = make(map[int]func())
 	}
 	cancel := n.led.clock.AfterFunc(n.dur, func() {
-		n.led.dispatch(func() {
+		n.led.dispatchNode(n, func() {
 			delete(n.cancels, id)
 			// The window may have been closed between firing and lock
 			// acquisition.
@@ -603,7 +625,7 @@ func (n *node) onPlus(ctx Context, occ *Occ) {
 		n.cancels = make(map[int]func())
 	}
 	cancel := n.led.clock.AfterFunc(delay, func() {
-		n.led.dispatch(func() {
+		n.led.dispatchNode(n, func() {
 			delete(n.cancels, id)
 			out := occ.clone()
 			out.At = target
@@ -628,7 +650,7 @@ func (n *node) scheduleTemporal(ctx Context) {
 		n.cancels = make(map[int]func())
 	}
 	cancel := n.led.clock.AfterFunc(delay, func() {
-		n.led.dispatch(func() {
+		n.led.dispatchNode(n, func() {
 			delete(n.cancels, id)
 			occ := &Occ{
 				Event: n.eventName(),

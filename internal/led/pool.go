@@ -1,0 +1,65 @@
+package led
+
+import "sync"
+
+// detachedPool runs DETACHED rule actions on a bounded set of worker
+// goroutines. The previous implementation spawned one goroutine per firing
+// — a burst of detached firings could spawn without bound — so the pool
+// queues firings and lazily spins up at most maxWorkers drainers; each
+// worker exits when the queue runs dry, keeping an idle detector at zero
+// goroutines.
+type detachedPool struct {
+	run func(firing)
+
+	mu         sync.Mutex
+	queue      []firing
+	workers    int
+	maxWorkers int
+	peak       int
+
+	// wg counts queued-but-unfinished firings, so wait drains the queue,
+	// not just in-flight workers (shutdown after a burst completes).
+	wg sync.WaitGroup
+}
+
+// submit enqueues one detached firing and ensures a worker will drain it.
+func (p *detachedPool) submit(f firing) {
+	p.wg.Add(1)
+	p.mu.Lock()
+	p.queue = append(p.queue, f)
+	if p.workers < p.maxWorkers {
+		p.workers++
+		if p.workers > p.peak {
+			p.peak = p.workers
+		}
+		go p.drain()
+	}
+	p.mu.Unlock()
+}
+
+// drain runs queued firings until none remain, then retires the worker.
+func (p *detachedPool) drain() {
+	for {
+		p.mu.Lock()
+		if len(p.queue) == 0 {
+			p.workers--
+			p.mu.Unlock()
+			return
+		}
+		f := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		p.run(f)
+		p.wg.Done()
+	}
+}
+
+// wait blocks until every submitted firing has run.
+func (p *detachedPool) wait() { p.wg.Wait() }
+
+// stats snapshots queue depth, running workers and the peak worker count.
+func (p *detachedPool) stats() (queued, workers, peak int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue), p.workers, p.peak
+}

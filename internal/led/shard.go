@@ -1,0 +1,256 @@
+package led
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/activedb/ecaagent/internal/snoop"
+)
+
+// shard is one connected component of the event graph (or several, when
+// Options.MaxShards forces co-location) behind its own lock. Everything a
+// graph propagation touches — nodes, per-context operator state, the
+// pending firing list — belongs to exactly one shard, so propagations in
+// different shards never contend.
+//
+// Shard state is accessed either under LED.mu (write) during definition
+// and rebalancing, or under LED.mu (read) + shard.mu during detection.
+type shard struct {
+	id  int
+	led *LED
+
+	mu    sync.Mutex
+	nodes map[string]*node // named events owned by this shard
+	rules map[string]*Rule
+	// refs counts how many same-shard composites reference each named
+	// event, so drops can be refused while dependents exist.
+	refs map[string]int
+	// pending accumulates rule firings during one graph propagation; it is
+	// only touched under mu.
+	pending []firing
+}
+
+// newShard allocates an empty shard registered in l. Caller holds l.mu.
+func (l *LED) newShard() *shard {
+	sh := &shard{
+		id:    l.nextShard,
+		led:   l,
+		nodes: make(map[string]*node),
+		rules: make(map[string]*Rule),
+		refs:  make(map[string]int),
+	}
+	l.nextShard++
+	l.shards[sh.id] = sh
+	return sh
+}
+
+// placeShard picks the shard for a fresh component: a new shard, or —
+// when MaxShards caps the shard count — the least occupied existing one.
+// Caller holds l.mu.
+func (l *LED) placeShard() *shard {
+	if l.maxShards > 0 && len(l.shards) >= l.maxShards {
+		var best *shard
+		for _, sh := range l.shards {
+			if best == nil || len(sh.nodes) < len(best.nodes) {
+				best = sh
+			}
+		}
+		return best
+	}
+	return l.newShard()
+}
+
+// mergeFor merges the shards owning the named events into one and returns
+// it; with no names it opens a fresh shard (a pure temporal composite has
+// no constituents). Caller holds l.mu and has verified every name is
+// defined.
+func (l *LED) mergeFor(names []string) *shard {
+	distinct := make([]*shard, 0, 2)
+	seen := make(map[int]bool)
+	for _, name := range names {
+		sh := l.eventShard[name]
+		if !seen[sh.id] {
+			seen[sh.id] = true
+			distinct = append(distinct, sh)
+		}
+	}
+	if len(distinct) == 0 {
+		return l.placeShard()
+	}
+	// Merge into the most occupied shard so the fewest nodes move.
+	target := distinct[0]
+	for _, sh := range distinct[1:] {
+		if len(sh.nodes) > len(target.nodes) {
+			target = sh
+		}
+	}
+	for _, src := range distinct {
+		if src != target {
+			l.mergeInto(target, src)
+		}
+	}
+	return target
+}
+
+// mergeInto moves every event, rule and reference of src into target and
+// deletes src. Caller holds l.mu, which excludes all detection, so no
+// shard locks are needed.
+func (l *LED) mergeInto(target, src *shard) {
+	for name, n := range src.nodes {
+		target.nodes[name] = n
+		l.eventShard[name] = target
+		forEachOwnedNode(n, func(m *node) { m.sh = target })
+	}
+	for en, c := range src.refs {
+		target.refs[en] += c
+	}
+	for rn, r := range src.rules {
+		target.rules[rn] = r
+		l.ruleShard[rn] = target
+	}
+	delete(l.shards, src.id)
+}
+
+// resplit recomputes the connected components of sh's events and moves
+// every component beyond the first into its own shard (bounded by
+// MaxShards). Called after DropEvent, whose removed composite may have
+// been the only edge holding the component together. Caller holds l.mu.
+func (l *LED) resplit(sh *shard) {
+	if len(sh.nodes) == 0 {
+		delete(l.shards, sh.id)
+		return
+	}
+	groups := sh.components()
+	if len(groups) <= 1 {
+		return
+	}
+	// Largest component stays put; the rest move to fresh shards, oldest
+	// cap-overflow components staying behind with the largest.
+	sort.Slice(groups, func(i, j int) bool { return len(groups[i]) > len(groups[j]) })
+	movable := len(groups) - 1
+	if l.maxShards > 0 {
+		if room := l.maxShards - len(l.shards); room < movable {
+			movable = room
+		}
+	}
+	if movable < 0 {
+		movable = 0
+	}
+	for _, group := range groups[1 : 1+movable] {
+		ns := l.newShard()
+		for _, name := range group {
+			n := sh.nodes[name]
+			delete(sh.nodes, name)
+			ns.nodes[name] = n
+			l.eventShard[name] = ns
+			forEachOwnedNode(n, func(m *node) { m.sh = ns })
+		}
+		for rn, r := range sh.rules {
+			if l.eventShard[r.Event] == ns {
+				ns.rules[rn] = r
+				l.ruleShard[rn] = ns
+				delete(sh.rules, rn)
+			}
+		}
+		ns.recountRefs()
+	}
+	sh.recountRefs()
+}
+
+// components partitions the shard's named events into connected
+// components: a composite is connected to every event it references.
+// Returns the event-name groups. Caller holds l.mu.
+func (sh *shard) components() [][]string {
+	parent := make(map[string]string, len(sh.nodes))
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	for name := range sh.nodes {
+		parent[name] = name
+	}
+	for name, n := range sh.nodes {
+		if n.expr == nil {
+			continue
+		}
+		for _, ref := range snoop.EventNames(n.expr) {
+			if _, ok := parent[ref]; ok {
+				union(name, ref)
+			}
+		}
+	}
+	byRoot := make(map[string][]string)
+	for name := range sh.nodes {
+		r := find(name)
+		byRoot[r] = append(byRoot[r], name)
+	}
+	groups := make([][]string, 0, len(byRoot))
+	for _, g := range byRoot {
+		sort.Strings(g)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+// recountRefs rebuilds the composite-reference counts from the shard's
+// current composites. Caller holds l.mu.
+func (sh *shard) recountRefs() {
+	sh.refs = make(map[string]int)
+	for _, n := range sh.nodes {
+		if n.expr == nil {
+			continue
+		}
+		for _, ref := range snoop.EventNames(n.expr) {
+			sh.refs[ref]++
+		}
+	}
+}
+
+// forEachOwnedNode visits a named root and the anonymous operator nodes it
+// owns (recursion stops at named children — those belong to their own
+// registration).
+func forEachOwnedNode(root *node, fn func(*node)) {
+	fn(root)
+	for _, c := range root.children {
+		if c.name == "" {
+			forEachOwnedNode(c, fn)
+		}
+	}
+}
+
+// collect runs fn under the shard lock, gathers the rule firings the
+// propagation produced, queues the deferred ones globally, and returns the
+// full prioritized list for the caller to execute outside the lock.
+// Caller holds LED.mu for read.
+func (sh *shard) collect(fn func()) []firing {
+	sh.mu.Lock()
+	sh.pending = nil
+	fn()
+	fired := sh.pending
+	sh.pending = nil
+	sh.mu.Unlock()
+	// Stable-sort by descending priority; equal priorities keep detection
+	// order.
+	sort.SliceStable(fired, func(i, j int) bool {
+		return fired[i].rule.Priority > fired[j].rule.Priority
+	})
+	var deferredNow []firing
+	for _, f := range fired {
+		if f.rule.Coupling == Deferred {
+			deferredNow = append(deferredNow, f)
+		}
+	}
+	if len(deferredNow) > 0 {
+		l := sh.led
+		l.defMu.Lock()
+		l.deferred = append(l.deferred, deferredNow...)
+		l.defMu.Unlock()
+	}
+	return fired
+}

@@ -1,0 +1,233 @@
+package led
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/snoop"
+)
+
+func TestShardIndependentPrimitives(t *testing.T) {
+	l := New(NewManualClock(t0))
+	for _, e := range []string{"a", "b", "c"} {
+		if err := l.DefinePrimitive(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.ShardCount(); got != 3 {
+		t.Fatalf("ShardCount = %d, want 3 (one per independent primitive)", got)
+	}
+	ids := map[int]bool{l.ShardID("a"): true, l.ShardID("b"): true, l.ShardID("c"): true}
+	if len(ids) != 3 {
+		t.Fatalf("independent primitives share a shard: %v", ids)
+	}
+	if l.ShardID("nope") != -1 {
+		t.Fatal("ShardID of unknown event should be -1")
+	}
+}
+
+func TestShardMergeOnComposite(t *testing.T) {
+	l := New(NewManualClock(t0))
+	for _, e := range []string{"a", "b", "c"} {
+		if err := l.DefinePrimitive(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := snoop.Parse("a ^ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.DefineComposite("ab", e); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ShardCount(); got != 2 {
+		t.Fatalf("ShardCount after merge = %d, want 2", got)
+	}
+	if l.ShardID("a") != l.ShardID("b") || l.ShardID("a") != l.ShardID("ab") {
+		t.Fatal("a, b and ab must share one shard after DefineComposite")
+	}
+	if l.ShardID("c") == l.ShardID("a") {
+		t.Fatal("c must stay in its own shard")
+	}
+}
+
+func TestShardSplitOnDrop(t *testing.T) {
+	l := New(NewManualClock(t0))
+	for _, e := range []string{"a", "b"} {
+		if err := l.DefinePrimitive(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, _ := snoop.Parse("a ; b")
+	if err := l.DefineComposite("ab", e); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ShardCount(); got != 1 {
+		t.Fatalf("ShardCount = %d, want 1 after merge", got)
+	}
+	if err := l.DropEvent("ab"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ShardCount(); got != 2 {
+		t.Fatalf("ShardCount after drop = %d, want 2 (component split)", got)
+	}
+	if l.ShardID("a") == l.ShardID("b") {
+		t.Fatal("a and b must separate once nothing links them")
+	}
+}
+
+// TestShardRuleFiresAfterMergeAndSplit proves detection state survives
+// rebalancing: a rule keeps firing after its shard is merged with another
+// and again after the link is dropped and the shards split.
+func TestShardRuleFiresAfterMergeAndSplit(t *testing.T) {
+	h := newHarness(t, "a", "b")
+	var fired []int
+	if err := h.led.AddRule(&Rule{
+		Name: "ra", Event: "a", Context: Recent,
+		Action: func(o *Occ) { fired = append(fired, o.Constituents[0].VNo) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	h.sig("a") // vno 1, own shard
+	e, _ := snoop.Parse("a ; b")
+	if err := h.led.DefineComposite("link", e); err != nil {
+		t.Fatal(err)
+	}
+	h.sig("a") // vno 2, merged shard
+	if err := h.led.DropEvent("link"); err != nil {
+		t.Fatal(err)
+	}
+	h.sig("a") // vno 3, split shard again
+
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("rule firings across merge/split = %v, want [1 2 3]", fired)
+	}
+	if h.led.ShardID("a") == h.led.ShardID("b") {
+		t.Fatal("shards did not split after DropEvent")
+	}
+}
+
+// TestShardCompositeStateSurvivesMerge checks a half-detected AND keeps
+// its partial state across a rebalance: initiate before the merge,
+// terminate after, and the pair must still come out.
+func TestShardCompositeStateSurvivesMerge(t *testing.T) {
+	h := newHarness(t, "a", "b", "x", "y")
+	defComposite(t, h, "ab", "a ^ b")
+	var got []*Occ
+	if err := h.led.AddRule(&Rule{
+		Name: "r", Event: "ab", Context: Chronicle,
+		Action: func(o *Occ) { got = append(got, o) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	h.sig("a") // initiate: AND holds state in the {a,b,ab} shard
+	// Merge {a,b,ab} with {x} and {y} through a spanning composite.
+	defComposite(t, h, "bridge", "(a ; x) | y")
+	h.sig("b") // terminate after the merge
+	if len(got) != 1 {
+		t.Fatalf("AND fired %d times across merge, want 1", len(got))
+	}
+	if len(got[0].Constituents) != 2 {
+		t.Fatalf("constituents = %d, want 2", len(got[0].Constituents))
+	}
+
+	// Now drop the bridge; the surviving composite's state must again be
+	// intact in its re-split shard.
+	if err := h.led.DropEvent("bridge"); err != nil {
+		t.Fatal(err)
+	}
+	h.sig("a")
+	h.sig("b")
+	if len(got) != 2 {
+		t.Fatalf("AND fired %d times after split, want 2", len(got))
+	}
+}
+
+// TestShardDeferredCrossShardPriority verifies FlushDeferred preserves
+// global priority ordering across shards: deferred firings from distinct
+// shards flush highest-priority-first, not shard-by-shard.
+func TestShardDeferredCrossShardPriority(t *testing.T) {
+	l := New(NewManualClock(t0))
+	var order []string
+	mk := func(ev string, prio int) {
+		if err := l.DefinePrimitive(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AddRule(&Rule{
+			Name: "r_" + ev, Event: ev, Context: Recent,
+			Coupling: Deferred, Priority: prio,
+			Action: func(o *Occ) { order = append(order, ev) },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("low", 1)
+	mk("high", 9)
+	mk("mid", 5)
+	if l.ShardCount() != 3 {
+		t.Fatalf("want 3 shards, got %d", l.ShardCount())
+	}
+	at := t0
+	for i, ev := range []string{"low", "high", "mid"} {
+		at = at.Add(time.Second)
+		l.Signal(Primitive{Event: ev, Table: "t", Op: "insert", VNo: i + 1, At: at})
+	}
+	if len(order) != 0 {
+		t.Fatalf("deferred rules ran before flush: %v", order)
+	}
+	l.FlushDeferred()
+	want := []string{"high", "mid", "low"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("cross-shard deferred order = %v, want %v", order, want)
+	}
+}
+
+// TestShardMaxShardsOne collapses everything into a single shard — the
+// compatibility mode the differential suite uses as its oracle.
+func TestShardMaxShardsOne(t *testing.T) {
+	l := NewWithOptions(NewManualClock(t0), Options{MaxShards: 1})
+	for i := 0; i < 5; i++ {
+		if err := l.DefinePrimitive(fmt.Sprintf("e%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.ShardCount(); got != 1 {
+		t.Fatalf("MaxShards=1 ShardCount = %d, want 1", got)
+	}
+	sizes := l.ShardSizes()
+	if len(sizes) != 1 || sizes[0] != 5 {
+		t.Fatalf("ShardSizes = %v, want [5]", sizes)
+	}
+	// Drop must not split beyond the cap either.
+	if err := l.DropEvent("e0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ShardCount(); got != 1 {
+		t.Fatalf("after drop, ShardCount = %d, want 1", got)
+	}
+}
+
+// TestShardSizesDescending checks the occupancy report ordering contract
+// relied on by the eca_led_shard_events_max gauge.
+func TestShardSizesDescending(t *testing.T) {
+	l := New(NewManualClock(t0))
+	for _, e := range []string{"a", "b", "c", "d"} {
+		if err := l.DefinePrimitive(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, _ := snoop.Parse("a ^ (b ; c)")
+	if err := l.DefineComposite("big", e); err != nil {
+		t.Fatal(err)
+	}
+	sizes := l.ShardSizes()
+	if len(sizes) != 2 {
+		t.Fatalf("ShardSizes = %v, want 2 shards", sizes)
+	}
+	if sizes[0] != 4 || sizes[1] != 1 {
+		t.Fatalf("ShardSizes = %v, want [4 1] (descending)", sizes)
+	}
+}

@@ -146,6 +146,7 @@ const (
 	kindCounterFunc
 	kindGaugeFunc
 	kindCounterVec
+	kindGaugeVec
 )
 
 // family is one named metric family: a scalar, a func, a histogram, or a
@@ -160,8 +161,9 @@ type family struct {
 	hist    *Histogram
 	fn      func() float64
 
-	mu     sync.Mutex
-	series map[string]*Counter // label value → counter (vectors)
+	mu      sync.Mutex
+	series  map[string]*Counter // label value → counter (counter vectors)
+	gseries map[string]*Gauge   // label value → gauge (gauge vectors)
 }
 
 // Registry collects metric families and renders them. All methods are safe
@@ -252,6 +254,30 @@ func (v *CounterVec) With(value string) *Counter {
 		v.f.series[value] = c
 	}
 	return c
+}
+
+// GaugeVec is a family of gauges partitioned by one label.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	f := r.register(&family{
+		name: name, help: help, kind: kindGaugeVec, label: label,
+		gseries: make(map[string]*Gauge),
+	})
+	return &GaugeVec{f: f}
+}
+
+// With returns the gauge for one label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	g, ok := v.f.gseries[value]
+	if !ok {
+		g = &Gauge{}
+		v.f.gseries[value] = g
+	}
+	return g
 }
 
 // Histograms returns snapshots of every registered histogram, keyed by

@@ -141,3 +141,44 @@ func TestValidName(t *testing.T) {
 		}
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("queue_depth", "per worker", "worker")
+	v.With("0").Set(3)
+	v.With("1").Set(-1)
+	v.With("0").Add(2) // same series, not a new one
+
+	// Idempotent re-registration returns the same family.
+	if r.GaugeVec("queue_depth", "per worker", "worker").With("0").Value() != 5 {
+		t.Error("re-registered GaugeVec lost its series")
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE queue_depth gauge\n",
+		`queue_depth{worker="0"} 5`,
+		`queue_depth{worker="1"} -1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Series render in sorted label order.
+	if strings.Index(out, `worker="0"`) > strings.Index(out, `worker="1"`) {
+		t.Error("gauge vector series not sorted")
+	}
+}
+
+func TestGaugeVecShapeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("depth", "", "worker")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a GaugeVec as CounterVec should panic")
+		}
+	}()
+	r.CounterVec("depth", "", "worker")
+}

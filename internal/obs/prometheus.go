@@ -33,7 +33,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 func (f *family) writePrometheus(w io.Writer) {
 	typ := "counter"
 	switch f.kind {
-	case kindGauge, kindGaugeFunc:
+	case kindGauge, kindGaugeFunc, kindGaugeVec:
 		typ = "gauge"
 	case kindHistogram:
 		typ = "histogram"
@@ -59,6 +59,17 @@ func (f *family) writePrometheus(w io.Writer) {
 		sort.Strings(vals)
 		for _, v := range vals {
 			fmt.Fprintf(w, "%s{%s=%q} %d\n", f.name, f.label, escapeLabel(v), f.series[v].Value())
+		}
+		f.mu.Unlock()
+	case kindGaugeVec:
+		f.mu.Lock()
+		vals := make([]string, 0, len(f.gseries))
+		for v := range f.gseries {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", f.name, f.label, escapeLabel(v), f.gseries[v].Value())
 		}
 		f.mu.Unlock()
 	case kindHistogram:

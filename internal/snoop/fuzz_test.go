@@ -1,0 +1,68 @@
+package snoop
+
+import "testing"
+
+// FuzzParse feeds the Snoop grammar arbitrary input. Two invariants:
+// Parse never panics, and any accepted expression round-trips — its
+// String() rendering reparses to the same canonical form (the property
+// TestStringRoundTrip established for the hand-written corpus).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// every operator, plain
+		"e1",
+		"e1 | e2",
+		"e1 ^ e2",
+		"e1 ; e2",
+		"NOT(e1, e2, e3)",
+		"A(e1, e2, e3)",
+		"A*(e1, e2, e3)",
+		"P(open, [5 sec], close)",
+		"P*(open, [2 min]:price, close)",
+		"alarm PLUS [30 sec]",
+		// site-qualified references (GED global events)
+		"addStk::siteA ^ delStk::siteB",
+		// nesting, precedence, grouping
+		"A*(open ; arm, NOT(a, b, c), close PLUS [5 sec]) ^ (x | y)",
+		"(e1 | e2) ; (e3 ^ e4)",
+		"NOT(e1 | e2, e3 ; e4, A(e5, e6, e7))",
+		"P(e1 ^ e2, [1 hour], e3 | e4)",
+		"e1 PLUS [0 sec]",
+		// unit spellings and durations
+		"x PLUS [1 min]",
+		"x PLUS [2 hour]",
+		"P(a, [100 sec], b)",
+		// malformed shapes the parser must reject cleanly
+		"",
+		"e1 |",
+		"| e1",
+		"NOT(e1, e2)",
+		"A(e1)",
+		"P(a, [sec], b)",
+		"P(a, [5], b)",
+		"x PLUS",
+		"x PLUS [5 parsec]",
+		"((((e1))))",
+		"e1 ;; e2",
+		"a::b::c",
+		"[5 sec]",
+		"A*(,,)",
+		"e1 ^ (e2 | e3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s1 := e.String()
+		e2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not reparse: %v", src, s1, err)
+		}
+		if s2 := e2.String(); s1 != s2 {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", src, s1, s2)
+		}
+	})
+}
