@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race differential fuzz bench-json metrics-smoke
+.PHONY: check fmt vet build test race differential crash-suite fuzz bench-json metrics-smoke
 
 # The full pre-merge gate: static checks, a clean build, the entire test
-# suite under the race detector, and an explicit pass over the sharded-LED
-# differential equivalence suite (also under -race).
-check: fmt vet build race differential
+# suite under the race detector, an explicit pass over the sharded-LED
+# differential equivalence suite, and the crash-recovery differential
+# matrix (both also under -race).
+check: fmt vet build race differential crash-suite
 
 # gofmt -l prints nonconforming files; any output fails the gate.
 fmt:
@@ -30,11 +31,22 @@ race:
 differential:
 	$(GO) test -race -count=1 -run 'TestDifferential|TestStressConcurrentShards|TestShard' ./internal/led
 
-# Short fuzzing passes over the notification decoders and the Snoop parser
-# (seed corpora always run under plain `make test`; this explores further).
+# The crash-recovery equivalence proof: every Snoop operator under every
+# parameter context, killed at three named crash points per cell with a
+# fixed seed matrix, restarted over the surviving files, and required to
+# reproduce the crash-free oracle's occurrence set and action multiset.
+# The drain/DLQ/watermark restart satellites ride along, all under -race.
+crash-suite:
+	$(GO) test -race -count=1 -run 'TestCrashDifferential|TestDLQPersistsAcrossRestart|TestWatermarkSeededBeforeDeliver|TestCloseDrainDeadlineWedged|TestRecoveryMetricsExposed|TestWALDecodeDamage|TestCheckpointDecodeDamage|TestCheckpointRoundTrip' ./internal/agent
+
+# Short fuzzing passes over the notification decoders, the Snoop parser,
+# and the checkpoint/journal decoders (seed corpora always run under
+# plain `make test`; this explores further).
 fuzz:
 	$(GO) test -fuzz=FuzzParseNotification -fuzztime=10s ./internal/agent
 	$(GO) test -fuzz=FuzzDecodeBatch -fuzztime=10s ./internal/agent
+	$(GO) test -fuzz=FuzzLoadCheckpoint -fuzztime=10s ./internal/agent
+	$(GO) test -fuzz=FuzzReplayWAL -fuzztime=10s ./internal/agent
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/snoop
 
 # Sharding ablation: concurrent detection throughput, single-lock vs

@@ -10,11 +10,19 @@
 //	         [-notify 127.0.0.1:0] [-admin dbo] [-http 127.0.0.1:6060]
 //	         [-retry-attempts 4] [-retry-base 25ms] [-retry-max 1s]
 //	         [-attempt-timeout 30s] [-resync 30s] [-drain 15s] [-dlq 128]
+//	         [-checkpoint-dir dir] [-checkpoint-interval 30s] [-wal-sync always]
 //	         [-site name -ged host:port]
 //
 // The -http address serves the observability surface: /metrics (Prometheus
 // text format), /healthz, /stats (JSON), /eventgraph (Graphviz dot), and
 // /debug/pprof.
+//
+// With -checkpoint-dir set the agent is crash-safe: detector state is
+// checkpointed there, accepted occurrences and completed actions are
+// journaled in between, and a restart replays the journal over the latest
+// checkpoint before gap-filling from the shadow tables — an exactly-once
+// action stream across crashes under -wal-sync always or group (see
+// DESIGN.md §8 for the guarantee matrix).
 package main
 
 import (
@@ -46,6 +54,9 @@ func main() {
 	resync := flag.Duration("resync", 30*time.Second, "period of the notification-loss recovery sweep (0 disables)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown deadline for in-flight rule actions")
 	dlqLimit := flag.Int("dlq", 128, "dead-letter queue capacity for failed rule actions")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for durable checkpoints and the occurrence journal (empty disables crash safety)")
+	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "period of the background checkpoint loop (0 = checkpoint only on shutdown)")
+	walSync := flag.String("wal-sync", agent.WALSyncAlways, "journal sync policy: always (exactly-once), group (exactly-once, batched fsync), none (at-least-once)")
 	site := flag.String("site", "", "site name for global event forwarding")
 	gedAddr := flag.String("ged", "", "address of a global event detector to forward to")
 	httpAddr := flag.String("http", "", "admin HTTP address for /metrics, /stats, /eventgraph, /debug/pprof (empty disables)")
@@ -64,6 +75,21 @@ func main() {
 		ResyncInterval:  *resync,
 		DrainTimeout:    *drain,
 		DeadLetterLimit: *dlqLimit,
+	}
+	if *ckptDir != "" {
+		switch *walSync {
+		case agent.WALSyncAlways, agent.WALSyncGroup, agent.WALSyncNone:
+		default:
+			log.Fatalf("ecaagent: -wal-sync must be always, group or none (got %q)", *walSync)
+		}
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatalf("ecaagent: -checkpoint-dir: %v", err)
+		}
+		cfg.Durability = &agent.Durability{
+			Dir:                *ckptDir,
+			CheckpointInterval: *ckptInterval,
+			WALSync:            *walSync,
+		}
 	}
 	if *gedAddr != "" {
 		if *site == "" {

@@ -71,7 +71,8 @@ func (h *actionHandler) invoke(p ActionParam, occ *led.Occ) ([]*sqltypes.ResultS
 		vno   int
 	}
 	seen := make(map[key]bool)
-	tables := make(map[string]bool)
+	tableSeen := make(map[string]bool)
+	var tables []string // first-seen order: the batch must be deterministic
 	var inserts []string
 	record := func(shadow string, vno int) {
 		k := key{table: shadow, vno: vno}
@@ -79,7 +80,10 @@ func (h *actionHandler) invoke(p ActionParam, occ *led.Occ) ([]*sqltypes.ResultS
 			return
 		}
 		seen[k] = true
-		tables[shadow] = true
+		if !tableSeen[shadow] {
+			tableSeen[shadow] = true
+			tables = append(tables, shadow)
+		}
 		inserts = append(inserts, fmt.Sprintf("insert %s values ('%s', '%s', %d)",
 			TabContext, sqlEscape(shadow), p.Context, vno))
 	}
@@ -97,7 +101,7 @@ func (h *actionHandler) invoke(p ActionParam, occ *led.Occ) ([]*sqltypes.ResultS
 			record(shadowTableName(c.Table, "deleted"), c.VNo)
 		}
 	}
-	for t := range tables {
+	for _, t := range tables {
 		fmt.Fprintf(&b, "delete %s where tableName = '%s' and context = '%s'\n",
 			TabContext, sqlEscape(t), p.Context)
 	}

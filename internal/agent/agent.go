@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/activedb/ecaagent/internal/faults"
 	"github.com/activedb/ecaagent/internal/led"
 	"github.com/activedb/ecaagent/internal/obs"
 	"github.com/activedb/ecaagent/internal/snoop"
@@ -72,6 +73,14 @@ type Config struct {
 	// nil creates a fresh one (read it back via Agent.Metrics). Each agent
 	// needs its own registry — the instruments are per-agent state.
 	Metrics *obs.Registry
+	// Durability, when set (with a Dir or FS), makes the agent crash-safe:
+	// detector state is checkpointed, accepted occurrences and completed
+	// actions are journaled in between, and startup recovery replays the
+	// journal over the latest checkpoint and gap-fills from the shadow
+	// tables — an exactly-once action stream across restarts under the
+	// always/group sync policies. Nil keeps the pre-durability behavior
+	// (volatile detector state, at-least-once from the watermark onward).
+	Durability *Durability
 }
 
 // eventInfo is the agent's registration record for one event.
@@ -139,6 +148,12 @@ type Agent struct {
 	// overflows.
 	reportDropLogged atomic.Bool
 
+	// dur is the checkpoint/WAL machinery (nil when durability is off);
+	// ready is closed once startup recovery has seeded watermarks and
+	// replayed the journal, gating the delivery surface until then.
+	dur   *durableState
+	ready chan struct{}
+
 	// stopCh stops background goroutines; bgWG tracks them.
 	stopCh   chan struct{}
 	stopOnce sync.Once
@@ -179,6 +194,7 @@ func New(cfg Config) (*Agent, error) {
 		triggers:        make(map[string]*triggerInfo),
 		nativeByTableOp: make(map[string]string),
 		ActionDone:      make(chan ActionResult, cfg.ActionBuffer),
+		ready:           make(chan struct{}),
 		stopCh:          make(chan struct{}),
 	}
 	a.rec.seen = make(map[string]*eventWatermark)
@@ -195,6 +211,12 @@ func New(cfg Config) (*Agent, error) {
 		reg = obs.NewRegistry()
 	}
 	a.initMetrics(reg)
+	if cfg.Durability != nil && (cfg.Durability.FS != nil || cfg.Durability.Dir != "") {
+		a.dur = newDurableState(a, *cfg.Durability)
+		// Outstanding-firing capture must be on before any rule exists, so
+		// checkpoints see detections whose actions have not been handed off.
+		a.led.TrackFirings(true)
+	}
 	// The agent's own connections are wrapped in the retry decorator so one
 	// broken connection disables nothing: it is redialed with backoff, and
 	// only terminal (server-answered) errors surface.
@@ -217,6 +239,7 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.NotifyAddr != "-" {
 		n, err := startNotifier(a, cfg.NotifyAddr)
 		if err != nil {
+			a.stopOnce.Do(func() { close(a.stopCh) })
 			if a.ingestPool != nil {
 				a.ingestPool.close()
 			}
@@ -231,6 +254,24 @@ func New(cfg Config) (*Agent, error) {
 		a.Close()
 		return nil, err
 	}
+	if a.dur != nil {
+		if a.dur.syncMode == WALSyncGroup {
+			a.bgWG.Add(1)
+			go a.dur.groupSyncLoop()
+		}
+		if err := a.recoverDurable(); err != nil {
+			a.Close()
+			return nil, err
+		}
+		if cfg.Durability.CheckpointInterval > 0 {
+			a.bgWG.Add(1)
+			go a.checkpointLoop(cfg.Durability.CheckpointInterval)
+		}
+	}
+	// Only now may live notifications flow: the watermarks are seeded (and
+	// under durability the journal is replayed), so a datagram racing the
+	// startup can no longer be misjudged against uninitialized state.
+	close(a.ready)
 	if cfg.ResyncInterval > 0 {
 		a.bgWG.Add(1)
 		go a.resyncLoop(cfg.ResyncInterval)
@@ -259,6 +300,15 @@ func (a *Agent) Close() {
 	a.bgWG.Wait()
 	if !a.drain(a.cfg.DrainTimeout) {
 		a.cfg.Logf("agent: drain deadline %v exceeded; abandoning in-flight rule actions", a.cfg.DrainTimeout)
+	}
+	if a.dur != nil && a.dur.recovered() {
+		// Final checkpoint: the dead-letter queue and any still-pending
+		// actions (including ones abandoned at the drain deadline) are
+		// persisted so the next start resumes them.
+		if err := a.Checkpoint(); err != nil {
+			a.cfg.Logf("agent: final checkpoint: %v", err)
+		}
+		a.dur.closeWAL()
 	}
 	a.actions.close()
 	a.pm.close()
@@ -313,6 +363,7 @@ func (a *Agent) NotifyEndpoint() (string, int) {
 // suppressed by the per-event vNo watermark and gaps are replayed from it
 // (see recovery.go).
 func (a *Agent) Deliver(msg string) {
+	a.waitReady()
 	a.ctr.notifReceived.Add(1)
 	event, table, op, vno, err := parseNotification(msg)
 	if err != nil {
@@ -579,6 +630,24 @@ func (a *Agent) addLEDRule(info *triggerInfo) error {
 		Coupling: info.Coupling,
 		Priority: info.Priority,
 		Action: func(occ *led.Occ) {
+			key := ""
+			if d := a.dur; d != nil {
+				key = actionKey(info.Name, occ)
+				if d.replaying.Load() {
+					// Journal replay: collect the firing; resumePending
+					// executes whatever no done record covers.
+					d.notePending(info.Name, key, occ)
+					return
+				}
+				// Claim the key synchronously, before the goroutine spawn
+				// and before detection clears the outstanding entry —
+				// every firing is in the outstanding set, the ledger, or
+				// both at any checkpoint cut.
+				if !d.begin(info.Name, key, occ) {
+					d.met.deduped.Inc()
+					return
+				}
+			}
 			a.actionWG.Add(1)
 			enqueued := time.Now()
 			// FIFO ticket: this action starts only after the previous one
@@ -588,7 +657,7 @@ func (a *Agent) addLEDRule(info *triggerInfo) error {
 			done := make(chan struct{})
 			a.actionTail = done
 			a.actionMu.Unlock()
-			go a.runAction(info.Name, param, occ, enqueued, prev, done)
+			go a.runAction(info.Name, param, occ, enqueued, prev, done, key)
 		},
 	})
 }
@@ -597,13 +666,26 @@ func (a *Agent) addLEDRule(info *triggerInfo) error {
 // SybaseAction call, Figure 16), gated by its FIFO ticket. The enqueued
 // timestamp is when detection fired the rule; the latency histogram spans
 // queue wait (the FIFO ticket) plus procedure execution.
-func (a *Agent) runAction(rule string, p ActionParam, occ *led.Occ, enqueued time.Time, prev, done chan struct{}) {
+func (a *Agent) runAction(rule string, p ActionParam, occ *led.Occ, enqueued time.Time, prev, done chan struct{}, key string) {
+	// Recover is outermost so a simulated crash still releases the FIFO
+	// ticket and the drain waitgroup on its way out.
+	defer faults.Recover()
 	defer a.actionWG.Done()
 	defer close(done)
 	if prev != nil {
 		<-prev
 	}
+	if d := a.dur; d != nil {
+		d.crash.Hit("action.preExec")
+	}
 	results, msgs, err := a.actions.invoke(p, occ)
+	if d := a.dur; d != nil && key != "" {
+		// Journal completion before anything acknowledges it. Failures
+		// count too: the upstream already retried, what reaches here is
+		// terminal and dead-lettered, not re-runnable by a restart.
+		d.markDone(key)
+		d.crash.Hit("action.postDone")
+	}
 	a.ctr.actionsRun.Add(1)
 	a.met.ruleRuns.With(rule).Inc()
 	a.met.actionSec.ObserveSince(enqueued)

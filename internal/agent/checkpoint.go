@@ -1,0 +1,469 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"github.com/activedb/ecaagent/internal/led"
+	"github.com/activedb/ecaagent/internal/storage"
+)
+
+// Checkpoint file format (ckpt-<epoch>):
+//
+//	magic "ECACKPT1" | version uint32 LE | epoch uint64 LE
+//	payloadLen uint64 LE | payload | crc32(payload) uint32 LE
+//
+// The payload is an internal/storage codec stream holding the delivery
+// watermarks, the full LED StateSnapshot, the ledger's pending actions
+// and the dead-letter queue. The file is written to a .tmp name, fsynced,
+// renamed into place and the directory fsynced, so a checkpoint either
+// exists completely or not at all; the CRC catches bit rot and torn
+// writes that slip past the rename barrier. Decoding is all-or-nothing —
+// any structural damage is an error and the caller falls back to the
+// previous epoch (or a cold start), never to partially loaded state.
+
+const (
+	ckptMagic   = "ECACKPT1"
+	ckptVersion = 1
+
+	// maxCkptItems bounds every decoded collection so a corrupt or
+	// adversarial count cannot balloon allocation before the data runs out.
+	maxCkptItems = 1 << 20
+)
+
+// ckptWatermark is one event's persisted delivery watermark.
+type ckptWatermark struct {
+	Event, Table, Op string
+	Last             int
+}
+
+// ckptPending is one not-yet-done ledger entry.
+type ckptPending struct {
+	Key, Rule string
+	Occ       led.OccState
+}
+
+// ckptDead is one persisted dead-letter entry.
+type ckptDead struct {
+	Rule, Event string
+	Occ         led.OccState
+	HasOcc      bool
+	Messages    []string
+	Err         string
+}
+
+// checkpointData is everything a checkpoint round-trips.
+type checkpointData struct {
+	Watermarks map[string]ckptWatermark
+	LED        *led.StateSnapshot
+	Pending    []ckptPending
+	DLQ        []ckptDead
+}
+
+func writeOccState(w *storage.Writer, o led.OccState) {
+	w.WriteString(o.Event)
+	w.WriteUint(uint64(o.Context))
+	w.WriteTime(o.At)
+	w.WriteUint(uint64(len(o.Constituents)))
+	for _, c := range o.Constituents {
+		w.WriteString(c.Event)
+		w.WriteString(c.Table)
+		w.WriteString(c.Op)
+		w.WriteInt(int64(c.VNo))
+		w.WriteTime(c.At)
+	}
+}
+
+func readOccState(r *storage.Reader) (led.OccState, error) {
+	var o led.OccState
+	var err error
+	if o.Event, err = r.ReadString(); err != nil {
+		return o, err
+	}
+	ctx, err := r.ReadUint()
+	if err != nil {
+		return o, err
+	}
+	o.Context = led.Context(ctx)
+	if o.At, err = r.ReadTime(); err != nil {
+		return o, err
+	}
+	n, err := r.ReadUint()
+	if err != nil {
+		return o, err
+	}
+	if n > maxCkptItems {
+		return o, fmt.Errorf("agent: checkpoint: implausible constituent count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var c led.Primitive
+		if c.Event, err = r.ReadString(); err != nil {
+			return o, err
+		}
+		if c.Table, err = r.ReadString(); err != nil {
+			return o, err
+		}
+		if c.Op, err = r.ReadString(); err != nil {
+			return o, err
+		}
+		vno, err := r.ReadInt()
+		if err != nil {
+			return o, err
+		}
+		c.VNo = int(vno)
+		if c.At, err = r.ReadTime(); err != nil {
+			return o, err
+		}
+		o.Constituents = append(o.Constituents, c)
+	}
+	return o, nil
+}
+
+func writeOccStates(w *storage.Writer, os []led.OccState) {
+	w.WriteUint(uint64(len(os)))
+	for _, o := range os {
+		writeOccState(w, o)
+	}
+}
+
+func readOccStates(r *storage.Reader) ([]led.OccState, error) {
+	n, err := r.ReadUint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxCkptItems {
+		return nil, fmt.Errorf("agent: checkpoint: implausible occurrence count %d", n)
+	}
+	out := make([]led.OccState, 0, min(int(n), 1024))
+	for i := uint64(0); i < n; i++ {
+		o, err := readOccState(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func writeFirings(w *storage.Writer, fs []led.FiringState) {
+	w.WriteUint(uint64(len(fs)))
+	for _, f := range fs {
+		w.WriteString(f.Rule)
+		writeOccState(w, f.Occ)
+	}
+}
+
+func readFirings(r *storage.Reader) ([]led.FiringState, error) {
+	n, err := r.ReadUint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxCkptItems {
+		return nil, fmt.Errorf("agent: checkpoint: implausible firing count %d", n)
+	}
+	var out []led.FiringState
+	for i := uint64(0); i < n; i++ {
+		var f led.FiringState
+		if f.Rule, err = r.ReadString(); err != nil {
+			return nil, err
+		}
+		if f.Occ, err = readOccState(r); err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func boolUint(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// encodeCheckpoint renders the complete file image for one epoch.
+func encodeCheckpoint(epoch uint64, c *checkpointData) ([]byte, error) {
+	var buf bytes.Buffer
+	w := storage.NewWriter(&buf)
+
+	events := make([]string, 0, len(c.Watermarks))
+	for ev := range c.Watermarks {
+		events = append(events, ev)
+	}
+	sort.Strings(events)
+	w.WriteUint(uint64(len(events)))
+	for _, ev := range events {
+		wm := c.Watermarks[ev]
+		w.WriteString(wm.Event)
+		w.WriteString(wm.Table)
+		w.WriteString(wm.Op)
+		w.WriteInt(int64(wm.Last))
+	}
+
+	w.WriteUint(uint64(len(c.LED.Nodes)))
+	for _, ns := range c.LED.Nodes {
+		w.WriteString(ns.Path)
+		w.WriteUint(uint64(ns.Kind))
+		w.WriteUint(uint64(len(ns.Contexts)))
+		for _, cs := range ns.Contexts {
+			w.WriteUint(uint64(cs.Ctx))
+			writeOccStates(w, cs.Left)
+			writeOccStates(w, cs.Right)
+			w.WriteUint(uint64(len(cs.Windows)))
+			for _, ws := range cs.Windows {
+				writeOccState(w, ws.Start)
+				writeOccStates(w, ws.Mids)
+				w.WriteTime(ws.Next)
+			}
+			w.WriteUint(uint64(len(cs.Plus)))
+			for _, ps := range cs.Plus {
+				writeOccState(w, ps.Occ)
+				w.WriteTime(ps.At)
+			}
+			w.WriteUint(boolUint(cs.Done))
+		}
+	}
+	writeFirings(w, c.LED.Deferred)
+	writeFirings(w, c.LED.Outstanding)
+
+	w.WriteUint(uint64(len(c.Pending)))
+	for _, p := range c.Pending {
+		w.WriteString(p.Key)
+		w.WriteString(p.Rule)
+		writeOccState(w, p.Occ)
+	}
+
+	w.WriteUint(uint64(len(c.DLQ)))
+	for _, d := range c.DLQ {
+		w.WriteString(d.Rule)
+		w.WriteString(d.Event)
+		w.WriteUint(boolUint(d.HasOcc))
+		if d.HasOcc {
+			writeOccState(w, d.Occ)
+		}
+		w.WriteUint(uint64(len(d.Messages)))
+		for _, m := range d.Messages {
+			w.WriteString(m)
+		}
+		w.WriteString(d.Err)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	payload := buf.Bytes()
+
+	out := []byte(ckptMagic)
+	out = binary.LittleEndian.AppendUint32(out, ckptVersion)
+	out = binary.LittleEndian.AppendUint64(out, epoch)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload)), nil
+}
+
+// decodeCheckpoint validates and decodes a checkpoint image, returning
+// the embedded epoch. Every failure is an error — truncation, bit flips
+// (CRC), a version from a different build — and leaves the caller with
+// nothing rather than half a state.
+func decodeCheckpoint(data []byte) (*checkpointData, uint64, error) {
+	headerLen := len(ckptMagic) + 4 + 8 + 8
+	if len(data) < headerLen+4 {
+		return nil, 0, fmt.Errorf("agent: checkpoint: truncated header (%d bytes)", len(data))
+	}
+	if string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, 0, fmt.Errorf("agent: checkpoint: bad magic %q", data[:len(ckptMagic)])
+	}
+	off := len(ckptMagic)
+	if v := binary.LittleEndian.Uint32(data[off:]); v != ckptVersion {
+		return nil, 0, fmt.Errorf("agent: checkpoint: unsupported version %d", v)
+	}
+	off += 4
+	epoch := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	plen := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	if plen != uint64(len(data)-off-4) {
+		return nil, 0, fmt.Errorf("agent: checkpoint: payload length %d does not match file size", plen)
+	}
+	payload := data[off : off+int(plen)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+int(plen):]) {
+		return nil, 0, fmt.Errorf("agent: checkpoint: payload CRC mismatch")
+	}
+
+	r, err := storage.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, 0, fmt.Errorf("agent: checkpoint: %w", err)
+	}
+	c := &checkpointData{Watermarks: make(map[string]ckptWatermark), LED: &led.StateSnapshot{}}
+
+	n, err := r.ReadUint()
+	if err != nil || n > maxCkptItems {
+		return nil, 0, fmt.Errorf("agent: checkpoint: watermarks: %w", orCount(err, n))
+	}
+	for i := uint64(0); i < n; i++ {
+		var wm ckptWatermark
+		if wm.Event, err = r.ReadString(); err != nil {
+			return nil, 0, err
+		}
+		if wm.Table, err = r.ReadString(); err != nil {
+			return nil, 0, err
+		}
+		if wm.Op, err = r.ReadString(); err != nil {
+			return nil, 0, err
+		}
+		last, err := r.ReadInt()
+		if err != nil {
+			return nil, 0, err
+		}
+		wm.Last = int(last)
+		c.Watermarks[wm.Event] = wm
+	}
+
+	n, err = r.ReadUint()
+	if err != nil || n > maxCkptItems {
+		return nil, 0, fmt.Errorf("agent: checkpoint: nodes: %w", orCount(err, n))
+	}
+	for i := uint64(0); i < n; i++ {
+		var ns led.NodeState
+		if ns.Path, err = r.ReadString(); err != nil {
+			return nil, 0, err
+		}
+		kind, err := r.ReadUint()
+		if err != nil {
+			return nil, 0, err
+		}
+		ns.Kind = int(kind)
+		nc, err := r.ReadUint()
+		if err != nil || nc > maxCkptItems {
+			return nil, 0, fmt.Errorf("agent: checkpoint: contexts: %w", orCount(err, nc))
+		}
+		for j := uint64(0); j < nc; j++ {
+			var cs led.CtxState
+			ctx, err := r.ReadUint()
+			if err != nil {
+				return nil, 0, err
+			}
+			cs.Ctx = led.Context(ctx)
+			if cs.Left, err = readOccStates(r); err != nil {
+				return nil, 0, err
+			}
+			if cs.Right, err = readOccStates(r); err != nil {
+				return nil, 0, err
+			}
+			nw, err := r.ReadUint()
+			if err != nil || nw > maxCkptItems {
+				return nil, 0, fmt.Errorf("agent: checkpoint: windows: %w", orCount(err, nw))
+			}
+			for k := uint64(0); k < nw; k++ {
+				var ws led.WindowState
+				if ws.Start, err = readOccState(r); err != nil {
+					return nil, 0, err
+				}
+				if ws.Mids, err = readOccStates(r); err != nil {
+					return nil, 0, err
+				}
+				if ws.Next, err = r.ReadTime(); err != nil {
+					return nil, 0, err
+				}
+				cs.Windows = append(cs.Windows, ws)
+			}
+			np, err := r.ReadUint()
+			if err != nil || np > maxCkptItems {
+				return nil, 0, fmt.Errorf("agent: checkpoint: plus: %w", orCount(err, np))
+			}
+			for k := uint64(0); k < np; k++ {
+				var ps led.PlusState
+				if ps.Occ, err = readOccState(r); err != nil {
+					return nil, 0, err
+				}
+				if ps.At, err = r.ReadTime(); err != nil {
+					return nil, 0, err
+				}
+				cs.Plus = append(cs.Plus, ps)
+			}
+			done, err := r.ReadUint()
+			if err != nil {
+				return nil, 0, err
+			}
+			cs.Done = done == 1
+			ns.Contexts = append(ns.Contexts, cs)
+		}
+		c.LED.Nodes = append(c.LED.Nodes, ns)
+	}
+	if c.LED.Deferred, err = readFirings(r); err != nil {
+		return nil, 0, err
+	}
+	if c.LED.Outstanding, err = readFirings(r); err != nil {
+		return nil, 0, err
+	}
+
+	n, err = r.ReadUint()
+	if err != nil || n > maxCkptItems {
+		return nil, 0, fmt.Errorf("agent: checkpoint: pending actions: %w", orCount(err, n))
+	}
+	for i := uint64(0); i < n; i++ {
+		var p ckptPending
+		if p.Key, err = r.ReadString(); err != nil {
+			return nil, 0, err
+		}
+		if p.Rule, err = r.ReadString(); err != nil {
+			return nil, 0, err
+		}
+		if p.Occ, err = readOccState(r); err != nil {
+			return nil, 0, err
+		}
+		c.Pending = append(c.Pending, p)
+	}
+
+	n, err = r.ReadUint()
+	if err != nil || n > maxCkptItems {
+		return nil, 0, fmt.Errorf("agent: checkpoint: dead letters: %w", orCount(err, n))
+	}
+	for i := uint64(0); i < n; i++ {
+		var d ckptDead
+		if d.Rule, err = r.ReadString(); err != nil {
+			return nil, 0, err
+		}
+		if d.Event, err = r.ReadString(); err != nil {
+			return nil, 0, err
+		}
+		has, err := r.ReadUint()
+		if err != nil {
+			return nil, 0, err
+		}
+		d.HasOcc = has == 1
+		if d.HasOcc {
+			if d.Occ, err = readOccState(r); err != nil {
+				return nil, 0, err
+			}
+		}
+		nm, err := r.ReadUint()
+		if err != nil || nm > maxCkptItems {
+			return nil, 0, fmt.Errorf("agent: checkpoint: messages: %w", orCount(err, nm))
+		}
+		for j := uint64(0); j < nm; j++ {
+			m, err := r.ReadString()
+			if err != nil {
+				return nil, 0, err
+			}
+			d.Messages = append(d.Messages, m)
+		}
+		if d.Err, err = r.ReadString(); err != nil {
+			return nil, 0, err
+		}
+		c.DLQ = append(c.DLQ, d)
+	}
+	return c, epoch, nil
+}
+
+// orCount folds the two failure modes of a counted section into one
+// error: a read failure, or a count past the sanity bound.
+func orCount(err error, n uint64) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("implausible count %d", n)
+}

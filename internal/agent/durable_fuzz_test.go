@@ -1,0 +1,161 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/led"
+)
+
+// fuzzCheckpointImage builds a small valid checkpoint image for seeding.
+func fuzzCheckpointImage() []byte {
+	at := time.Unix(1700000000, 0).UTC()
+	c := &checkpointData{
+		Watermarks: map[string]ckptWatermark{
+			"db.u.e": {Event: "db.u.e", Table: "db.u.t", Op: "insert", Last: 3},
+		},
+		LED: &led.StateSnapshot{
+			Nodes: []led.NodeState{{
+				Path: "db.u.comp",
+				Kind: 2,
+				Contexts: []led.CtxState{{
+					Ctx:  led.Chronicle,
+					Left: []led.OccState{{Event: "db.u.e", At: at}},
+				}},
+			}},
+		},
+		Pending: []ckptPending{{Key: "k", Rule: "db.u.r", Occ: led.OccState{Event: "db.u.e", At: at}}},
+		DLQ:     []ckptDead{{Rule: "db.u.r", Event: "db.u.e", Err: "x"}},
+	}
+	img, err := encodeCheckpoint(3, c)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// FuzzLoadCheckpoint: a checkpoint image that is truncated, bit-flipped,
+// or version-skewed must produce an error — never a panic, and never a
+// partially decoded state alongside one.
+func FuzzLoadCheckpoint(f *testing.F) {
+	img := fuzzCheckpointImage()
+	f.Add(img)
+	f.Add(img[:len(img)/2])
+	f.Add(img[:8])
+	f.Add([]byte{})
+	flipped := append([]byte(nil), img...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	skew := append([]byte(nil), img...)
+	skew[8] = 0x7f // version field
+	f.Add(skew)
+	badMagic := append([]byte(nil), img...)
+	badMagic[0] = 'X'
+	f.Add(badMagic)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, _, err := decodeCheckpoint(data)
+		if err != nil && ck != nil {
+			t.Fatalf("decodeCheckpoint returned partial state alongside error %v", err)
+		}
+		if err == nil && ck == nil {
+			t.Fatal("decodeCheckpoint returned neither state nor error")
+		}
+	})
+}
+
+// FuzzReplayWAL: a journal that is truncated or corrupted mid-record must
+// yield the valid prefix with torn=true; damaged headers must error; no
+// input may panic.
+func FuzzReplayWAL(f *testing.F) {
+	at := time.Unix(1700000000, 0).UTC()
+	buf := walHeader(5)
+	buf = append(buf, encodeWALRecord(walRecord{
+		kind: walOccKind, event: "db.u.e", table: "db.u.t", op: "insert", vno: 1, at: at})...)
+	buf = append(buf, encodeWALRecord(walRecord{kind: walDoneKind, key: "abc"})...)
+	f.Add(buf)
+	f.Add(buf[:len(buf)-3]) // torn tail
+	f.Add(buf[:16])         // header only
+	f.Add(buf[:7])          // torn header
+	f.Add([]byte{})
+	flipped := append([]byte(nil), buf...)
+	flipped[20] ^= 0x10
+	f.Add(flipped)
+	badMagic := append([]byte(nil), buf...)
+	badMagic[0] = 'X'
+	f.Add(badMagic)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, recs, torn, err := parseWAL(data)
+		if err != nil && len(recs) != 0 {
+			t.Fatalf("parseWAL returned %d records alongside error %v", len(recs), err)
+		}
+		if err != nil && torn {
+			t.Fatalf("parseWAL reported both torn and error %v", err)
+		}
+	})
+}
+
+// TestWALDecodeDamage pins the three damage classes the fuzz targets
+// explore: torn tails keep the valid prefix, header damage is an error,
+// and short files are torn (an interrupted creation), not errors.
+func TestWALDecodeDamage(t *testing.T) {
+	at := time.Unix(1700000000, 0).UTC()
+	buf := walHeader(5)
+	buf = append(buf, encodeWALRecord(walRecord{
+		kind: walOccKind, event: "db.u.e", table: "db.u.t", op: "insert", vno: 1, at: at})...)
+	r2 := encodeWALRecord(walRecord{kind: walDoneKind, key: "abc"})
+	buf = append(buf, r2...)
+
+	epoch, recs, torn, err := parseWAL(buf)
+	if err != nil || torn || epoch != 5 || len(recs) != 2 {
+		t.Fatalf("intact journal: epoch=%d recs=%d torn=%v err=%v", epoch, len(recs), torn, err)
+	}
+	if recs[0].vno != 1 || !recs[0].at.Equal(at) || recs[1].key != "abc" {
+		t.Fatalf("decoded records: %+v", recs)
+	}
+
+	_, recs, torn, err = parseWAL(buf[:len(buf)-2])
+	if err != nil || !torn || len(recs) != 1 {
+		t.Fatalf("torn tail: recs=%d torn=%v err=%v", len(recs), torn, err)
+	}
+
+	flipped := append([]byte(nil), buf...)
+	flipped[len(flipped)-1] ^= 0xff // CRC of the last record
+	_, recs, torn, err = parseWAL(flipped)
+	if err != nil || !torn || len(recs) != 1 {
+		t.Fatalf("bit flip: recs=%d torn=%v err=%v", len(recs), torn, err)
+	}
+
+	badMagic := append([]byte(nil), buf...)
+	badMagic[3] = '!'
+	if _, _, _, err := parseWAL(badMagic); err == nil {
+		t.Fatal("damaged magic accepted")
+	}
+
+	if _, recs, torn, err := parseWAL(buf[:7]); err != nil || !torn || len(recs) != 0 {
+		t.Fatalf("short file: recs=%d torn=%v err=%v", len(recs), torn, err)
+	}
+}
+
+// TestCheckpointDecodeDamage pins the checkpoint damage classes.
+func TestCheckpointDecodeDamage(t *testing.T) {
+	img := fuzzCheckpointImage()
+	if _, _, err := decodeCheckpoint(img); err != nil {
+		t.Fatalf("intact image rejected: %v", err)
+	}
+	if _, _, err := decodeCheckpoint(img[:len(img)-1]); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+	flipped := append([]byte(nil), img...)
+	flipped[len(flipped)/2] ^= 0x01
+	if _, _, err := decodeCheckpoint(flipped); err == nil {
+		t.Fatal("bit-flipped image accepted")
+	}
+	skew := append([]byte(nil), img...)
+	skew[8] = 0x7f
+	if _, _, err := decodeCheckpoint(skew); err == nil {
+		t.Fatal("version-skewed image accepted")
+	}
+	if _, _, err := decodeCheckpoint(nil); err == nil {
+		t.Fatal("empty image accepted")
+	}
+}

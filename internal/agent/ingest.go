@@ -111,6 +111,7 @@ func (a *Agent) routeKey(event string) int {
 // (Config.IngestWorkers < 0) every line is delivered synchronously, in
 // order, exactly like repeated Deliver calls.
 func (a *Agent) DeliverBatch(datagram string) {
+	a.waitReady()
 	if a.ingestPool == nil {
 		for _, line := range strings.Split(datagram, "\n") {
 			if line != "" {

@@ -2,6 +2,7 @@ package agent
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/activedb/ecaagent/internal/obs"
 )
@@ -125,3 +126,50 @@ func (a *Agent) initMetrics(reg *obs.Registry) {
 // and embedding programs use, and the place extra application metrics can
 // be registered to ride along on /metrics.
 func (a *Agent) Metrics() *obs.Registry { return a.met.reg }
+
+// recoveryMetrics instruments the durability layer; registered only when
+// Config.Durability is set.
+type recoveryMetrics struct {
+	checkpoints *obs.Counter
+	ckptSec     *obs.Histogram
+	ckptBytes   *obs.Gauge
+	walRecords  *obs.Counter
+	walBytes    *obs.Counter
+	walSyncs    *obs.Counter
+	replayed    *obs.Counter
+	resumed     *obs.Counter
+	deduped     *obs.Counter
+	recoverySec *obs.Histogram
+}
+
+func (d *durableState) initRecoveryMetrics(reg *obs.Registry) {
+	d.met.checkpoints = reg.Counter("eca_recovery_checkpoints_total",
+		"Durable checkpoint generations cut (periodic, recovery and Close).")
+	d.met.ckptSec = reg.Histogram("eca_recovery_checkpoint_seconds",
+		"Checkpoint cut duration (freeze, encode, fsync, publish, journal rotation), seconds.", nil)
+	d.met.ckptBytes = reg.Gauge("eca_recovery_checkpoint_bytes",
+		"Size of the last published checkpoint file.")
+	d.met.walRecords = reg.Counter("eca_recovery_wal_records_total",
+		"Records appended to the write-ahead journal (occurrences and action completions).")
+	d.met.walBytes = reg.Counter("eca_recovery_wal_bytes_total",
+		"Bytes appended to the write-ahead journal.")
+	d.met.walSyncs = reg.Counter("eca_recovery_wal_syncs_total",
+		"Journal fsyncs (per record under always, batched under group commit).")
+	d.met.replayed = reg.Counter("eca_recovery_replayed_records_total",
+		"Journal records replayed during startup recovery.")
+	d.met.resumed = reg.Counter("eca_recovery_resumed_actions_total",
+		"Rule actions re-launched at recovery because no done record covered them.")
+	d.met.deduped = reg.Counter("eca_recovery_deduped_actions_total",
+		"Rule firings suppressed by the action ledger (already done or already claimed).")
+	d.met.recoverySec = reg.Histogram("eca_recovery_seconds",
+		"Startup recovery latency: checkpoint restore, journal replay, resume and gap fill, seconds.", nil)
+	reg.GaugeFunc("eca_recovery_checkpoint_age_seconds",
+		"Seconds since the last completed checkpoint.",
+		func() float64 {
+			ns := d.lastCkpt.Load()
+			if ns == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		})
+}

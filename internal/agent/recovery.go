@@ -81,12 +81,12 @@ func (a *Agent) ingest(p led.Primitive) {
 			p.Event, p.VNo, w.last, p.VNo-w.last-1)
 		for v := w.last + 1; v < p.VNo; v++ {
 			a.ctr.occRecovered.Add(1)
-			a.signal(led.Primitive{Event: p.Event, Table: w.table, Op: w.op, VNo: v})
+			a.durableSignal(led.Primitive{Event: p.Event, Table: w.table, Op: w.op, VNo: v})
 		}
 	}
 	w.last = p.VNo
 	a.ctr.notifDelivered.Add(1)
-	a.signal(p)
+	a.durableSignal(p)
 }
 
 // signal feeds one occurrence to the LED and the global-event forwarder.
@@ -170,7 +170,7 @@ func (a *Agent) recoverRange(event string, auth int) {
 		event, auth, w.last, auth-w.last)
 	for v := w.last + 1; v <= auth; v++ {
 		a.ctr.occRecovered.Add(1)
-		a.signal(led.Primitive{Event: event, Table: w.table, Op: w.op, VNo: v})
+		a.durableSignal(led.Primitive{Event: event, Table: w.table, Op: w.op, VNo: v})
 	}
 	w.last = auth
 }

@@ -1,0 +1,186 @@
+package agent
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// Write-ahead journal of what happened since the last checkpoint. Two
+// record kinds cover the whole delta:
+//
+//   - an occurrence record for every primitive occurrence the tracker
+//     accepted (appended before the LED sees it, so a crash between
+//     append and detection replays the occurrence instead of losing it);
+//   - an action-done record for every rule action whose procedure call
+//     returned (appended before the completion is acknowledged, so a
+//     crash after it never re-runs the action).
+//
+// Recovery = restore the checkpoint, then re-feed the occurrence records
+// in order while marking done actions off in the ledger; whatever the
+// journal proves already ran is skipped, everything else runs once.
+//
+// File layout (wal-<epoch>):
+//
+//	magic "ECAWAL01" | epoch uint64 LE
+//	record := kind byte | payloadLen uvarint | payload | crc32(kind+payload) uint32 LE
+//
+// A torn tail — the suffix an unsynced crash may shred — is detected by
+// the length/CRC frame and cleanly ends replay; anything durable before
+// the tear is still recovered. A wrong magic is a version skew and an
+// error, never a partial load.
+
+const walMagic = "ECAWAL01"
+
+const (
+	walOccKind  byte = 1 // primitive occurrence accepted by the tracker
+	walDoneKind byte = 2 // rule action completed
+)
+
+// walRecord is one decoded journal record.
+type walRecord struct {
+	kind byte
+
+	// walOccKind fields
+	event, table, op string
+	vno              int
+	at               time.Time
+
+	// walDoneKind field
+	key string
+}
+
+func walAppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// walHeader renders the file header for one journal epoch.
+func walHeader(epoch uint64) []byte {
+	b := []byte(walMagic)
+	return binary.LittleEndian.AppendUint64(b, epoch)
+}
+
+// encodeWALRecord frames one record.
+func encodeWALRecord(r walRecord) []byte {
+	var p []byte
+	switch r.kind {
+	case walOccKind:
+		p = walAppendString(p, r.event)
+		p = walAppendString(p, r.table)
+		p = walAppendString(p, r.op)
+		p = binary.AppendVarint(p, int64(r.vno))
+		p = binary.AppendVarint(p, r.at.UnixNano())
+	case walDoneKind:
+		p = walAppendString(p, r.key)
+	}
+	frame := []byte{r.kind}
+	frame = binary.AppendUvarint(frame, uint64(len(p)))
+	frame = append(frame, p...)
+	h := crc32.NewIEEE()
+	h.Write([]byte{r.kind})
+	h.Write(p)
+	return binary.LittleEndian.AppendUint32(frame, h.Sum32())
+}
+
+func walReadUvarint(b []byte, off int) (uint64, int, bool) {
+	n, sz := binary.Uvarint(b[off:])
+	if sz <= 0 {
+		return 0, off, false
+	}
+	return n, off + sz, true
+}
+
+func walReadVarint(b []byte, off int) (int64, int, bool) {
+	n, sz := binary.Varint(b[off:])
+	if sz <= 0 {
+		return 0, off, false
+	}
+	return n, off + sz, true
+}
+
+func walReadString(b []byte, off int) (string, int, bool) {
+	n, off, ok := walReadUvarint(b, off)
+	if !ok || n > uint64(len(b)-off) {
+		return "", off, false
+	}
+	return string(b[off : off+int(n)]), off + int(n), true
+}
+
+// parseWAL decodes a journal image. Structural damage confined to the
+// tail (a torn unsynced suffix) ends the scan and sets torn; records
+// before the tear are returned. A bad magic on a non-empty header is a
+// version skew and returns an error with no records.
+func parseWAL(data []byte) (epoch uint64, recs []walRecord, torn bool, err error) {
+	headerLen := len(walMagic) + 8
+	if len(data) < headerLen {
+		// The header itself was shredded (crash before its sync); nothing
+		// durable was ever framed, so there is nothing to replay.
+		return 0, nil, len(data) > 0, nil
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		return 0, nil, false, fmt.Errorf("agent: wal: bad magic %q", data[:len(walMagic)])
+	}
+	epoch = binary.LittleEndian.Uint64(data[len(walMagic):headerLen])
+	off := headerLen
+	for off < len(data) {
+		kind := data[off]
+		if kind != walOccKind && kind != walDoneKind {
+			return epoch, recs, true, nil
+		}
+		plen, o, ok := walReadUvarint(data, off+1)
+		if !ok || plen > uint64(len(data)-o) || len(data)-o-int(plen) < 4 {
+			return epoch, recs, true, nil
+		}
+		payload := data[o : o+int(plen)]
+		crcOff := o + int(plen)
+		h := crc32.NewIEEE()
+		h.Write([]byte{kind})
+		h.Write(payload)
+		if binary.LittleEndian.Uint32(data[crcOff:crcOff+4]) != h.Sum32() {
+			return epoch, recs, true, nil
+		}
+		r, ok := parseWALPayload(kind, payload)
+		if !ok {
+			return epoch, recs, true, nil
+		}
+		recs = append(recs, r)
+		off = crcOff + 4
+	}
+	return epoch, recs, false, nil
+}
+
+func parseWALPayload(kind byte, p []byte) (walRecord, bool) {
+	r := walRecord{kind: kind}
+	var ok bool
+	off := 0
+	switch kind {
+	case walOccKind:
+		if r.event, off, ok = walReadString(p, off); !ok {
+			return r, false
+		}
+		if r.table, off, ok = walReadString(p, off); !ok {
+			return r, false
+		}
+		if r.op, off, ok = walReadString(p, off); !ok {
+			return r, false
+		}
+		var vno, ns int64
+		if vno, off, ok = walReadVarint(p, off); !ok {
+			return r, false
+		}
+		if ns, off, ok = walReadVarint(p, off); !ok {
+			return r, false
+		}
+		r.vno = int(vno)
+		if ns != 0 {
+			r.at = time.Unix(0, ns).UTC()
+		}
+	case walDoneKind:
+		if r.key, off, ok = walReadString(p, off); !ok {
+			return r, false
+		}
+	}
+	return r, off == len(p)
+}

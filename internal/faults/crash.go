@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Named crash points let the crash-differential harness kill the agent at
+// precise places in the durability protocol (after the WAL append, before
+// the signal; before an action executes; between checkpoint write and
+// rename; ...). Production code calls Hit(name) at each point on a nil
+// *CrashSet — a no-op — and the harness injects a CrashSet armed for one
+// specific point and occurrence count.
+//
+// A tripped crash point panics with a sentinel the harness recognizes
+// (IsCrash); goroutines the agent owns shield themselves with
+// `defer Recover(set)` so a simulated crash on a worker does not take the
+// test process down. After the first trip every other point disarms — a
+// run crashes once.
+
+// crashErr is the sentinel panic payload.
+type crashErr struct{ point string }
+
+func (e crashErr) Error() string { return fmt.Sprintf("faults: simulated crash at %q", e.point) }
+
+// CrashSet is a collection of armed crash points. The zero value and nil
+// are inert.
+type CrashSet struct {
+	mu      sync.Mutex
+	armed   map[string]int // point → hits remaining before it trips
+	hits    map[string]int // point → times reached (diagnostics)
+	tripped string
+}
+
+// NewCrashSet returns an empty, unarmed set.
+func NewCrashSet() *CrashSet {
+	return &CrashSet{armed: make(map[string]int), hits: make(map[string]int)}
+}
+
+// Arm makes the set trip on the nth (1-based) Hit of point.
+func (c *CrashSet) Arm(point string, nth int) {
+	if nth < 1 {
+		nth = 1
+	}
+	c.mu.Lock()
+	c.armed[point] = nth
+	c.mu.Unlock()
+}
+
+// Hit marks one pass through a crash point, panicking with the crash
+// sentinel when the point's armed count is reached. Safe (and free) on a
+// nil set.
+func (c *CrashSet) Hit(point string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.hits[point]++
+	if c.tripped != "" {
+		c.mu.Unlock()
+		return
+	}
+	n, ok := c.armed[point]
+	if !ok || c.hits[point] < n {
+		c.mu.Unlock()
+		return
+	}
+	c.tripped = point
+	c.mu.Unlock()
+	panic(crashErr{point: point})
+}
+
+// Tripped reports which point crashed this run ("" when none has).
+func (c *CrashSet) Tripped() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tripped
+}
+
+// Hits reports how many times a point was reached.
+func (c *CrashSet) Hits(point string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits[point]
+}
+
+// IsCrash reports whether a recovered panic value is the crash sentinel,
+// returning the point that tripped.
+func IsCrash(r interface{}) (point string, ok bool) {
+	e, ok := r.(crashErr)
+	return e.point, ok
+}
+
+// Recover is deferred at the top of agent-owned goroutines: it swallows a
+// simulated-crash panic (the goroutine just stops, like a dead process's
+// would) and re-panics anything else. A nil set still recovers — the
+// sentinel can cross goroutines regardless of who owns the set.
+func Recover() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if _, ok := IsCrash(r); ok {
+		return
+	}
+	panic(r)
+}

@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"testing"
+)
+
+func TestCrashSetTripsOnNthHit(t *testing.T) {
+	c := NewCrashSet()
+	c.Arm("wal.append", 3)
+	c.Hit("wal.append")
+	c.Hit("wal.append")
+	c.Hit("other.point") // unarmed points never trip
+	func() {
+		defer func() {
+			point, ok := IsCrash(recover())
+			if !ok || point != "wal.append" {
+				t.Fatalf("expected crash at wal.append, got %q ok=%v", point, ok)
+			}
+		}()
+		c.Hit("wal.append")
+		t.Fatal("third hit did not trip")
+	}()
+	if c.Tripped() != "wal.append" {
+		t.Fatalf("Tripped = %q", c.Tripped())
+	}
+	// After the first trip every point disarms.
+	c.Arm("other.point", 1)
+	c.Hit("other.point")
+	if got := c.Hits("wal.append"); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+}
+
+func TestCrashSetNilIsInert(t *testing.T) {
+	var c *CrashSet
+	c.Hit("anything")
+	if c.Tripped() != "" || c.Hits("anything") != 0 {
+		t.Fatal("nil CrashSet not inert")
+	}
+}
+
+func TestRecoverSwallowsOnlyCrashes(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer Recover()
+		c := NewCrashSet()
+		c.Arm("p", 1)
+		c.Hit("p")
+	}()
+	<-done // would have crashed the test process if not swallowed
+
+	defer func() {
+		if r := recover(); r != "real panic" {
+			t.Fatalf("Recover swallowed a real panic: %v", r)
+		}
+	}()
+	func() {
+		defer Recover()
+		panic("real panic")
+	}()
+}
+
+func TestCrashDirDurability(t *testing.T) {
+	d := NewCrashDir(1)
+	f, err := d.Create("wal-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("synced|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("unsynced-tail-that-may-tear")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live reads see everything (same-process page cache).
+	if b, _ := d.ReadFile("wal-1"); string(b) != "synced|unsynced-tail-that-may-tear" {
+		t.Fatalf("live read = %q", b)
+	}
+
+	d.Crash()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write after crash succeeded")
+	}
+	if _, err := d.Create("other"); err == nil {
+		t.Fatal("create after crash succeeded")
+	}
+	d.Restart()
+	b, err := d.ReadFile("wal-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < len("synced|") || string(b[:7]) != "synced|" {
+		t.Fatalf("synced prefix lost: %q", b)
+	}
+	if len(b) > len("synced|unsynced-tail-that-may-tear") {
+		t.Fatalf("grew bytes from nowhere: %q", b)
+	}
+}
+
+func TestCrashDirRenamePublish(t *testing.T) {
+	d := NewCrashDir(7)
+	f, _ := d.Create("ckpt-2.tmp")
+	f.Write([]byte("checkpoint"))
+	f.Sync()
+	f.Close()
+	if err := d.Rename("ckpt-2.tmp", "ckpt-2"); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	d.Restart()
+	if b, err := d.ReadFile("ckpt-2"); err != nil || string(b) != "checkpoint" {
+		t.Fatalf("published checkpoint lost: %q, %v", b, err)
+	}
+	if _, err := d.ReadFile("ckpt-2.tmp"); err == nil {
+		t.Fatal("tmp survived rename")
+	}
+	names, _ := d.List()
+	if len(names) != 1 || names[0] != "ckpt-2" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestCrashDirTornTailIsPrefix(t *testing.T) {
+	// Across seeds, whatever survives of the unsynced region must be a
+	// prefix — never reordered or interior-dropped bytes.
+	payload := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	for seed := int64(0); seed < 20; seed++ {
+		d := NewCrashDir(seed)
+		f, _ := d.Create("w")
+		f.Write([]byte(payload))
+		d.Crash()
+		d.Restart()
+		b, err := d.ReadFile("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != payload[:len(b)] {
+			t.Fatalf("seed %d: surviving bytes %q are not a prefix", seed, b)
+		}
+	}
+}

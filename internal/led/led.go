@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/activedb/ecaagent/internal/snoop"
@@ -191,10 +192,12 @@ func (realClock) AfterFunc(d time.Duration, f func()) func() {
 	return func() { t.Stop() }
 }
 
-// firing is one pending rule execution.
+// firing is one pending rule execution. seq is its outstanding-set key
+// when firing tracking is on (see noteFired); zero otherwise.
 type firing struct {
 	rule *Rule
 	occ  *Occ
+	seq  uint64
 }
 
 // Options tunes a LED.
@@ -239,6 +242,20 @@ type LED struct {
 	// behind Wait).
 	pool detachedPool
 
+	// timMu guards the logical timer registry (timers.go). Leaf lock:
+	// nothing is acquired while holding it.
+	timMu   sync.Mutex
+	timers  map[uint64]*logTimer
+	timNext uint64
+
+	// outMu guards the outstanding-firing set (snapshot.go): firings
+	// detected but not yet durably handed off to their rule actions.
+	// Acquired after mu/defMu, never before them.
+	outMu       sync.Mutex
+	outstanding map[uint64]firing
+	outSeq      uint64
+	track       atomic.Bool
+
 	// met holds the optional instruments (see EnableMetrics); loaded
 	// atomically so Signal never takes an extra lock for them.
 	met metAtomic
@@ -265,7 +282,10 @@ func NewWithOptions(clock Clock, opt Options) *LED {
 		maxShards:  opt.MaxShards,
 	}
 	l.pool.maxWorkers = workers
-	l.pool.run = l.runRule
+	l.pool.run = func(f firing) {
+		l.runRule(f)
+		l.clearFired(f.seq)
+	}
 	return l
 }
 
@@ -508,6 +528,10 @@ func (l *LED) Signal(p Primitive) {
 		occ := &Occ{Event: p.Event, At: p.At, Constituents: []Primitive{p}}
 		n.emitPrimitive(occ)
 	})
+	// Note outstanding firings before releasing the topology lock, so a
+	// checkpoint (which takes it for write) sees node state and pending
+	// firings as one consistent cut.
+	l.noteFired(fired, false)
 	l.mu.RUnlock()
 	l.runFirings(fired)
 }
@@ -552,6 +576,7 @@ func (l *LED) ShardSizes() []int {
 func (l *LED) dispatchNode(n *node, fn func()) {
 	l.mu.RLock()
 	fired := n.sh.collect(fn)
+	l.noteFired(fired, false)
 	l.mu.RUnlock()
 	l.runFirings(fired)
 }
@@ -564,6 +589,7 @@ func (l *LED) runFirings(fired []firing) {
 		switch f.rule.Coupling {
 		case Immediate:
 			l.runRule(f)
+			l.clearFired(f.seq)
 		case Detached:
 			l.pool.submit(f)
 		}
@@ -583,6 +609,11 @@ func (l *LED) FlushDeferred() {
 	l.defMu.Lock()
 	queued := l.deferred
 	l.deferred = nil
+	// Hand the popped batch to the outstanding set inside the same
+	// critical section as the swap: a checkpoint cut between the swap and
+	// the runs would otherwise see the firings in neither the deferred
+	// queue nor the outstanding set.
+	l.noteFired(queued, true)
 	l.defMu.Unlock()
 	// Filter disabled rules under the topology read lock: DropRule flips
 	// disabled while holding it for write, so reading it outside would
@@ -592,6 +623,8 @@ func (l *LED) FlushDeferred() {
 	for _, f := range queued {
 		if !f.rule.disabled {
 			kept = append(kept, f)
+		} else {
+			l.clearFired(f.seq)
 		}
 	}
 	l.mu.RUnlock()
@@ -600,6 +633,7 @@ func (l *LED) FlushDeferred() {
 	})
 	for _, f := range kept {
 		l.runRule(f)
+		l.clearFired(f.seq)
 	}
 }
 

@@ -59,24 +59,37 @@ type node struct {
 	nextID  int
 }
 
-// opState is the per-context detection state of an operator node.
+// opState is the per-context detection state of an operator node. Every
+// field is serializable (snapshot.go): nothing the detector needs to
+// survive a restart lives only in timer closures.
 type opState struct {
 	left  []*Occ // buffered left/initiator occurrences
 	right []*Occ // buffered right occurrences (AND only)
 	// windows holds open A/A*/P/P* windows.
 	windows []*window
-	// midSeen marks NOT middle-event invalidation.
-	midSeen bool
+	// plus holds scheduled PLUS re-emissions not yet fired.
+	plus []*plusPending
+	// done marks a temporal event that has fired (one-shot).
+	done bool
 }
 
 // window is one open interval for the aperiodic/periodic operators.
 type window struct {
 	start *Occ
 	mids  []*Occ // accumulated middle occurrences (A*) or ticks (P*)
+	// next is the next tick's logical deadline (periodic operators only);
+	// derived from the start occurrence, not the wall clock, so a restored
+	// window re-ticks at the same instants the crashed process would have.
+	next time.Time
 	// cancel stops the window's periodic timer.
 	cancel func()
-	// seq disambiguates timers across window generations.
-	seq int
+}
+
+// plusPending is one scheduled PLUS emission: the child occurrence and the
+// logical instant (occ.At + delta) it re-emits at.
+type plusPending struct {
+	occ *Occ
+	at  time.Time
 }
 
 // build constructs the (anonymous) graph for an expression inside this
@@ -286,7 +299,7 @@ func (n *node) onChild(ctx Context, idx int, occ *Occ) {
 		n.onPeriodic(ctx, st, idx, occ)
 
 	case kPlus:
-		n.onPlus(ctx, occ)
+		n.onPlus(ctx, st, occ)
 	}
 }
 
@@ -562,47 +575,65 @@ func (n *node) onPeriodic(ctx Context, st *opState, idx int, occ *Occ) {
 	}
 }
 
-// armPeriodic schedules the next tick of a periodic window. The timer
-// callback dispatches through the node's *current* shard — the component
-// may have been rebalanced between arming and firing.
-func (n *node) armPeriodic(ctx Context, st *opState, w *window) {
+// armTimer arms a logical timer owned by this node, recording its cancel
+// for shutdown. fn runs inside the node's *current* shard — the component
+// may have been rebalanced between arming and firing — with the timer's
+// logical deadline as its argument (identical whether the clock or a
+// recovery FireTimersUpTo fired it).
+func (n *node) armTimer(at time.Time, fn func(at time.Time)) func() {
 	id := n.nextID
 	n.nextID++
 	if n.cancels == nil {
 		n.cancels = make(map[int]func())
 	}
-	cancel := n.led.clock.AfterFunc(n.dur, func() {
-		n.led.dispatchNode(n, func() {
-			delete(n.cancels, id)
-			// The window may have been closed between firing and lock
-			// acquisition.
-			open := false
-			for _, ww := range st.windows {
-				if ww == w {
-					open = true
-					break
-				}
-			}
-			if !open {
-				return
-			}
-			tick := &Occ{
-				Event: n.eventName(),
-				At:    n.led.clock.Now(),
-				Constituents: []Primitive{{
-					Event: n.eventName(), Op: "tick", At: n.led.clock.Now(),
-				}},
-			}
-			if n.kind == kPerStar {
-				w.mids = append(w.mids, tick)
-			} else {
-				n.emit(ctx, mergeOccs(n.eventName(), ctx, w.start, tick))
-			}
-			n.armPeriodic(ctx, st, w)
-		})
+	inner := n.led.armNodeTimer(n, at, func(fireAt time.Time) {
+		delete(n.cancels, id)
+		fn(fireAt)
 	})
+	cancel := func() {
+		delete(n.cancels, id)
+		inner()
+	}
 	n.cancels[id] = cancel
-	w.cancel = cancel
+	return cancel
+}
+
+// armPeriodic schedules the next tick of a periodic window at its logical
+// deadline: the start occurrence's time plus a whole number of periods.
+// The tick carries the deadline as its At, so replaying a restored window
+// reproduces byte-identical tick occurrences.
+func (n *node) armPeriodic(ctx Context, st *opState, w *window) {
+	if w.next.IsZero() {
+		w.next = w.start.At.Add(n.dur)
+	}
+	w.cancel = n.armTimer(w.next, func(at time.Time) {
+		// The window may have been closed between firing and lock
+		// acquisition.
+		open := false
+		for _, ww := range st.windows {
+			if ww == w {
+				open = true
+				break
+			}
+		}
+		if !open {
+			return
+		}
+		tick := &Occ{
+			Event: n.eventName(),
+			At:    at,
+			Constituents: []Primitive{{
+				Event: n.eventName(), Op: "tick", At: at,
+			}},
+		}
+		if n.kind == kPerStar {
+			w.mids = append(w.mids, tick)
+		} else {
+			n.emit(ctx, mergeOccs(n.eventName(), ctx, w.start, tick))
+		}
+		w.next = at.Add(n.dur)
+		n.armPeriodic(ctx, st, w)
+	})
 }
 
 func (n *node) stopWindow(w *window) {
@@ -612,55 +643,57 @@ func (n *node) stopWindow(w *window) {
 	}
 }
 
-// onPlus schedules the delayed re-emission of the child occurrence.
-func (n *node) onPlus(ctx Context, occ *Occ) {
-	target := occ.At.Add(n.dur)
-	delay := target.Sub(n.led.clock.Now())
-	if delay < 0 {
-		delay = 0
-	}
-	id := n.nextID
-	n.nextID++
-	if n.cancels == nil {
-		n.cancels = make(map[int]func())
-	}
-	cancel := n.led.clock.AfterFunc(delay, func() {
-		n.led.dispatchNode(n, func() {
-			delete(n.cancels, id)
-			out := occ.clone()
-			out.At = target
-			out.Constituents = append(out.Constituents, Primitive{
-				Event: n.eventName(), Op: "time", At: target,
-			})
-			n.emit(ctx, out)
+// onPlus schedules the delayed re-emission of the child occurrence. The
+// pending emission lives in opState (not just the timer closure) so a
+// checkpoint can capture and a restore re-arm it.
+func (n *node) onPlus(ctx Context, st *opState, occ *Occ) {
+	p := &plusPending{occ: occ, at: occ.At.Add(n.dur)}
+	st.plus = append(st.plus, p)
+	n.armPlus(ctx, st, p)
+}
+
+// armPlus arms the timer for one pending PLUS emission.
+func (n *node) armPlus(ctx Context, st *opState, p *plusPending) {
+	n.armTimer(p.at, func(time.Time) {
+		for i, q := range st.plus {
+			if q == p {
+				st.plus = append(st.plus[:i], st.plus[i+1:]...)
+				break
+			}
+		}
+		out := p.occ.clone()
+		out.At = p.at
+		out.Constituents = append(out.Constituents, Primitive{
+			Event: n.eventName(), Op: "time", At: p.at,
 		})
+		n.emit(ctx, out)
 	})
-	n.cancels[id] = cancel
 }
 
 // scheduleTemporal arms a one-shot absolute-time event.
 func (n *node) scheduleTemporal(ctx Context) {
-	delay := n.absAt.Sub(n.led.clock.Now())
-	if delay < 0 {
+	if n.absAt.Before(n.led.clock.Now()) {
 		return // already past; never fires
 	}
-	id := n.nextID
-	n.nextID++
-	if n.cancels == nil {
-		n.cancels = make(map[int]func())
-	}
-	cancel := n.led.clock.AfterFunc(delay, func() {
-		n.led.dispatchNode(n, func() {
-			delete(n.cancels, id)
-			occ := &Occ{
-				Event: n.eventName(),
-				At:    n.absAt,
-				Constituents: []Primitive{{
-					Event: n.eventName(), Op: "time", At: n.absAt,
-				}},
-			}
-			n.emit(ctx, occ)
-		})
+	n.armTemporal(ctx)
+}
+
+// armTemporal arms the temporal timer; the done flag makes firing one-shot
+// even when a restore re-arms alongside an activate-time timer.
+func (n *node) armTemporal(ctx Context) {
+	n.armTimer(n.absAt, func(time.Time) {
+		st := n.state[ctx]
+		if st == nil || st.done {
+			return
+		}
+		st.done = true
+		occ := &Occ{
+			Event: n.eventName(),
+			At:    n.absAt,
+			Constituents: []Primitive{{
+				Event: n.eventName(), Op: "time", At: n.absAt,
+			}},
+		}
+		n.emit(ctx, occ)
 	})
-	n.cancels[id] = cancel
 }

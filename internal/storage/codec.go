@@ -72,6 +72,21 @@ func (w *Writer) WriteString(s string) { w.writeString(s) }
 // WriteUint writes an unsigned integer record.
 func (w *Writer) WriteUint(n uint64) { w.writeUvarint(n) }
 
+// WriteInt writes a signed integer record (zig-zag varint).
+func (w *Writer) WriteInt(n int64) { w.writeVarint(n) }
+
+// WriteTime writes a timestamp record at nanosecond precision (the
+// checkpoint codec needs occurrence times to round-trip exactly — they
+// feed action dedup keys). The zero time is encoded as a zero nanosecond
+// count and restored as the zero time.
+func (w *Writer) WriteTime(t time.Time) {
+	if t.IsZero() {
+		w.writeVarint(0)
+		return
+	}
+	w.writeVarint(t.UnixNano())
+}
+
 // WriteTable encodes a table snapshot.
 func (w *Writer) WriteTable(t *Table) {
 	t.mu.RLock()
@@ -155,6 +170,18 @@ func (r *Reader) ReadString() (string, error) {
 
 // ReadUint reads an unsigned integer record.
 func (r *Reader) ReadUint() (uint64, error) { return binary.ReadUvarint(r.r) }
+
+// ReadInt reads a signed integer record.
+func (r *Reader) ReadInt() (int64, error) { return binary.ReadVarint(r.r) }
+
+// ReadTime reads a timestamp record written by WriteTime.
+func (r *Reader) ReadTime() (time.Time, error) {
+	ns, err := binary.ReadVarint(r.r)
+	if err != nil || ns == 0 {
+		return time.Time{}, err
+	}
+	return time.Unix(0, ns).UTC(), nil
+}
 
 // ReadTable decodes one table snapshot.
 func (r *Reader) ReadTable() (*Table, error) {

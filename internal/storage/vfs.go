@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is a writable file handle with explicit durability: Sync must not
+// return until previously written bytes are on stable storage. The
+// checkpoint and WAL writers are programmed against this instead of *os.File
+// so the crash harness can substitute an in-memory filesystem that models
+// torn writes and lost unsynced data.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is a flat directory of files — everything the durability layer needs
+// from a filesystem. Rename must be atomic with respect to crashes (the
+// checkpoint writer's publish step relies on it), and SyncDir must make
+// completed creates/renames/removes durable.
+type FS interface {
+	Create(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldName, newName string) error
+	Remove(name string) error
+	List() ([]string, error)
+	SyncDir() error
+}
+
+// OSDir is the production FS: one real directory. The directory is created
+// on first use.
+type OSDir struct {
+	Dir string
+}
+
+func (d OSDir) ensure() error { return os.MkdirAll(d.Dir, 0o755) }
+
+// Create truncates or creates name inside the directory.
+func (d OSDir) Create(name string) (File, error) {
+	if err := d.ensure(); err != nil {
+		return nil, err
+	}
+	return os.Create(filepath.Join(d.Dir, name))
+}
+
+// ReadFile reads the whole file.
+func (d OSDir) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.Dir, name))
+}
+
+// Rename atomically replaces newName with oldName's content.
+func (d OSDir) Rename(oldName, newName string) error {
+	return os.Rename(filepath.Join(d.Dir, oldName), filepath.Join(d.Dir, newName))
+}
+
+// Remove deletes a file.
+func (d OSDir) Remove(name string) error {
+	return os.Remove(filepath.Join(d.Dir, name))
+}
+
+// List returns the directory's file names, sorted.
+func (d OSDir) List() ([]string, error) {
+	ents, err := os.ReadDir(d.Dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir fsyncs the directory itself, making renames and removals
+// durable.
+func (d OSDir) SyncDir() error {
+	if err := d.ensure(); err != nil {
+		return err
+	}
+	f, err := os.Open(d.Dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
