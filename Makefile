@@ -1,20 +1,41 @@
 GO ?= go
+ECAVET := bin/ecavet
 
-.PHONY: check fmt vet build test race differential crash-suite fuzz bench-json metrics-smoke
+.PHONY: check fmt vet lint build test race differential crash-suite fuzz bench-json metrics-smoke
 
-# The full pre-merge gate: static checks, a clean build, the entire test
-# suite under the race detector, an explicit pass over the sharded-LED
-# differential equivalence suite, and the crash-recovery differential
-# matrix (both also under -race).
-check: fmt vet build race differential crash-suite
+# The full pre-merge gate: static checks (including the ecavet invariant
+# suite), a clean build, the entire test suite under the race detector, an
+# explicit pass over the sharded-LED differential equivalence suite, and
+# the crash-recovery differential matrix (both also under -race).
+check: fmt vet lint build race differential crash-suite
 
-# gofmt -l prints nonconforming files; any output fails the gate.
+# gofmt -l prints nonconforming files; any output fails the gate. The
+# second check is waiver hygiene: every //ecavet:allow needs an analyzer
+# name AND a reason, and `make fmt` rejects reasonless ones before the
+# analyzers even run (fixtures under testdata exercise malformed waivers
+# on purpose and are excluded).
 fmt:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	@out=$$(gofmt -l . | grep -v testdata); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@bad=$$(grep -rn --include='*.go' --exclude='*_test.go' -E '//ecavet:allow[[:space:]]*([[:alnum:]_]+[[:space:]]*)?$$' . | grep -v testdata); \
+	if [ -n "$$bad" ]; then \
+		echo "ecavet waivers need a reason (//ecavet:allow <analyzer> <reason>):"; echo "$$bad"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# The ecavet invariant suite (internal/analysis, DESIGN.md Â§9) run through
+# go vet's -vettool protocol: per-package caching, exact export data, and
+# findings formatted like any other vet diagnostic.
+lint: $(ECAVET)
+	$(GO) vet -vettool=$(ECAVET) ./...
+
+$(ECAVET): FORCE
+	@mkdir -p bin
+	$(GO) build -o $(ECAVET) ./cmd/ecavet
+
+.PHONY: FORCE
+FORCE:
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,37 @@
+// Command ecavet is the repo's static-analysis suite: five analyzers that
+// mechanize the agent's determinism, durability and concurrency
+// invariants (DESIGN.md §9).
+//
+// It speaks the `go vet -vettool` protocol, so the supported invocation
+// is the one `make lint` uses:
+//
+//	go build -o bin/ecavet ./cmd/ecavet
+//	go vet -vettool=bin/ecavet ./...
+//
+// which gives per-package caching and exact export data from the build.
+// It also runs standalone over `go list` patterns for ad-hoc use:
+//
+//	go run ./cmd/ecavet ./internal/agent
+package main
+
+import (
+	"github.com/activedb/ecaagent/internal/analysis"
+	"github.com/activedb/ecaagent/internal/analysis/fsyncorder"
+	"github.com/activedb/ecaagent/internal/analysis/lockguard"
+	"github.com/activedb/ecaagent/internal/analysis/nowallclock"
+	"github.com/activedb/ecaagent/internal/analysis/obsreg"
+	"github.com/activedb/ecaagent/internal/analysis/syncerr"
+)
+
+// Suite is the full analyzer set, in the order findings are reported.
+var suite = []*analysis.Analyzer{
+	nowallclock.Analyzer,
+	fsyncorder.Analyzer,
+	lockguard.Analyzer,
+	syncerr.Analyzer,
+	obsreg.Analyzer,
+}
+
+func main() {
+	analysis.Main(suite)
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/analysis"
+)
+
+// TestSuiteCleanOnRepo dogfoods the suite over the whole module: every
+// invariant holds (or carries a reasoned waiver) and no waiver is stale.
+// A finding here is a regression in the codebase, not in the analyzers.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and analyzes the whole module")
+	}
+	diags, fset, err := analysis.CheckPackages([]string{"github.com/activedb/ecaagent/..."}, suite)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		t.Log("fix the finding or add //ecavet:allow <analyzer> <reason> at the site")
+	}
+}
+
+// TestSuiteNames pins the analyzer names the waiver syntax depends on:
+// renaming one silently orphans every //ecavet:allow referring to it.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"nowallclock", "fsyncorder", "lockguard", "syncerr", "obsreg"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has no Doc", a.Name)
+		}
+	}
+}

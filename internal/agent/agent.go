@@ -109,7 +109,12 @@ type triggerInfo struct {
 // Agent is the ECA agent: a mediator that adds full active-database
 // capability to the SQL server it fronts (Figure 2 of the paper).
 type Agent struct {
-	cfg        Config
+	cfg Config
+	// clock is the shared time seam (cfg.Clock, defaulting to the system
+	// clock). Every timestamp and latency measurement in the agent goes
+	// through it so recovery and replay are deterministic under
+	// led.ManualClock — enforced by the nowallclock analyzer.
+	clock      led.Clock
 	led        *led.LED
 	pm         *persistentManager
 	actions    *actionHandler
@@ -197,7 +202,13 @@ func New(cfg Config) (*Agent, error) {
 		ready:           make(chan struct{}),
 		stopCh:          make(chan struct{}),
 	}
+	a.clock = cfg.Clock
+	if a.clock == nil {
+		a.clock = led.SystemClock()
+	}
+	a.rec.mu.Lock()
 	a.rec.seen = make(map[string]*eventWatermark)
+	a.rec.mu.Unlock()
 	a.dlq.limit = cfg.DeadLetterLimit
 	if cfg.IngestWorkers >= 0 {
 		w := cfg.IngestWorkers
@@ -325,6 +336,7 @@ func (a *Agent) drain(timeout time.Duration) bool {
 		a.actionWG.Wait()
 		close(done)
 	}()
+	//ecavet:allow nowallclock shutdown drain deadline is operational, never replayed
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
@@ -649,7 +661,7 @@ func (a *Agent) addLEDRule(info *triggerInfo) error {
 				}
 			}
 			a.actionWG.Add(1)
-			enqueued := time.Now()
+			enqueued := a.clock.Now()
 			// FIFO ticket: this action starts only after the previous one
 			// finished, preserving priority order across goroutines.
 			a.actionMu.Lock()
@@ -688,7 +700,7 @@ func (a *Agent) runAction(rule string, p ActionParam, occ *led.Occ, enqueued tim
 	}
 	a.ctr.actionsRun.Add(1)
 	a.met.ruleRuns.With(rule).Inc()
-	a.met.actionSec.ObserveSince(enqueued)
+	a.met.actionSec.Observe(a.clock.Now().Sub(enqueued).Seconds())
 	res := ActionResult{Rule: rule, Event: occ.Event, Occ: occ, Messages: msgs, Results: results, Err: err}
 	if err != nil {
 		a.ctr.actionsFailed.Add(1)

@@ -64,14 +64,14 @@ type durableState struct {
 	groupInt time.Duration
 
 	mu        sync.Mutex
-	syncCond  *sync.Cond // group-commit waiters
-	epoch     uint64
-	wal       storage.File
-	walSeq    uint64 // records appended (monotonic across rotations)
-	walSynced uint64 // records known durable
-	syncAll   bool   // group syncer gone; sync inline
-	ledger    map[string]*ledgerEntry
-	ledgerSeq int
+	syncCond  *sync.Cond              // group-commit waiters
+	epoch     uint64                  // guarded by mu
+	wal       storage.File            // guarded by mu
+	walSeq    uint64                  // records appended (monotonic across rotations); guarded by mu
+	walSynced uint64                  // records known durable; guarded by mu
+	syncAll   bool                    // group syncer gone; sync inline; guarded by mu
+	ledger    map[string]*ledgerEntry // guarded by mu
+	ledgerSeq int                     // guarded by mu
 
 	// replaying gates the rule-action path: during WAL replay detections
 	// are collected into the ledger instead of executed.
@@ -256,6 +256,7 @@ func (d *durableState) appendOcc(p led.Primitive) {
 // stay durable.
 func (d *durableState) groupSyncLoop() {
 	defer d.a.bgWG.Done()
+	//ecavet:allow nowallclock group-commit flush cadence is operational, not replayed
 	t := time.NewTicker(d.groupInt)
 	defer t.Stop()
 	for {
@@ -309,7 +310,7 @@ func (a *Agent) Checkpoint() error {
 	if d == nil {
 		return nil
 	}
-	start := time.Now()
+	start := a.clock.Now()
 	d.crash.Hit("ckpt.begin")
 	a.rec.mu.Lock()
 	defer a.rec.mu.Unlock()
@@ -348,12 +349,10 @@ func (a *Agent) Checkpoint() error {
 		return fmt.Errorf("agent: checkpoint: %w", err)
 	}
 	if _, err := f.Write(img); err != nil {
-		f.Close()
-		return fmt.Errorf("agent: checkpoint: %w", err)
+		return errors.Join(fmt.Errorf("agent: checkpoint: %w", err), f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("agent: checkpoint: %w", err)
+		return errors.Join(fmt.Errorf("agent: checkpoint: %w", err), f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("agent: checkpoint: %w", err)
@@ -371,7 +370,9 @@ func (a *Agent) Checkpoint() error {
 	// the old journal is superseded by the checkpoint just published.
 	d.syncLocked()
 	if d.wal != nil {
-		d.wal.Close()
+		if err := d.wal.Close(); err != nil {
+			d.a.cfg.Logf("agent: closing journal: %v", err)
+		}
 	}
 	d.wal = nil
 	wf, err := d.fs.Create(walName(newEpoch))
@@ -379,13 +380,11 @@ func (a *Agent) Checkpoint() error {
 		return fmt.Errorf("agent: opening journal: %w", err)
 	}
 	if _, err := wf.Write(walHeader(newEpoch)); err != nil {
-		wf.Close()
-		return fmt.Errorf("agent: opening journal: %w", err)
+		return errors.Join(fmt.Errorf("agent: opening journal: %w", err), wf.Close())
 	}
 	if d.syncMode != WALSyncNone {
 		if err := wf.Sync(); err != nil {
-			wf.Close()
-			return fmt.Errorf("agent: opening journal: %w", err)
+			return errors.Join(fmt.Errorf("agent: opening journal: %w", err), wf.Close())
 		}
 	}
 	d.wal = wf
@@ -402,6 +401,7 @@ func (a *Agent) Checkpoint() error {
 				_ = d.fs.Remove(name)
 			}
 		}
+		//ecavet:allow syncerr pruning is best-effort; the new generation is already durable
 		_ = d.fs.SyncDir()
 	}
 	for k, e := range d.ledger {
@@ -412,8 +412,8 @@ func (a *Agent) Checkpoint() error {
 	d.epoch = newEpoch
 	d.met.checkpoints.Inc()
 	d.met.ckptBytes.Set(int64(len(img)))
-	d.met.ckptSec.ObserveSince(start)
-	d.lastCkpt.Store(time.Now().UnixNano())
+	d.met.ckptSec.Observe(a.clock.Now().Sub(start).Seconds())
+	d.lastCkpt.Store(a.clock.Now().UnixNano())
 	return nil
 }
 
@@ -421,6 +421,7 @@ func (a *Agent) Checkpoint() error {
 func (a *Agent) checkpointLoop(interval time.Duration) {
 	defer a.bgWG.Done()
 	defer faults.Recover()
+	//ecavet:allow nowallclock checkpoint cadence is operational, not replayed
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -444,9 +445,11 @@ func (a *Agent) checkpointLoop(interval time.Duration) {
 // not prove delivered.
 func (a *Agent) recoverDurable() error {
 	d := a.dur
-	start := time.Now()
+	start := a.clock.Now()
 	ck, ckEpoch, maxEpoch := d.loadLatest()
+	d.mu.Lock()
 	d.epoch = maxEpoch
+	d.mu.Unlock()
 	if ck != nil {
 		if err := a.led.RestoreState(ck.LED); err != nil {
 			// RestoreState validates before applying, so the detector is
@@ -528,7 +531,7 @@ func (a *Agent) recoverDurable() error {
 	if err := a.Resync(); err != nil {
 		a.cfg.Logf("agent: recovery resync: %v", err)
 	}
-	d.met.recoverySec.ObserveSince(start)
+	d.met.recoverySec.Observe(a.clock.Now().Sub(start).Seconds())
 	return nil
 }
 
@@ -564,7 +567,7 @@ func (a *Agent) resumePending() {
 		done := make(chan struct{})
 		a.actionTail = done
 		a.actionMu.Unlock()
-		go a.runAction(e.rule, param, e.occ, time.Now(), prev, done, e.key)
+		go a.runAction(e.rule, param, e.occ, a.clock.Now(), prev, done, e.key)
 	}
 }
 

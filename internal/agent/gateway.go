@@ -6,7 +6,6 @@ import (
 	"io"
 	"net"
 	"sync"
-	"time"
 
 	"github.com/activedb/ecaagent/internal/sqllex"
 	"github.com/activedb/ecaagent/internal/sqlparse"
@@ -55,9 +54,9 @@ func (cs *ClientSession) Database() string { return cs.db }
 func (cs *ClientSession) Exec(sql string) ([]*sqltypes.ResultSet, error) {
 	var out []*sqltypes.ResultSet
 	for _, batch := range sqlparse.SplitBatches(sql) {
-		start := time.Now()
+		start := cs.agent.clock.Now()
 		results, err := cs.execBatch(batch)
-		cs.agent.met.gatewayBatchSec.ObserveSince(start)
+		cs.agent.met.gatewayBatchSec.Observe(cs.agent.clock.Now().Sub(start).Seconds())
 		out = append(out, results...)
 		if err != nil {
 			return out, err
@@ -195,8 +194,8 @@ type gateway struct {
 	agent    *Agent
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
+	conns    map[net.Conn]struct{} // guarded by mu
+	closed   bool                  // guarded by mu
 	wg       sync.WaitGroup
 }
 

@@ -170,6 +170,6 @@ func (d *durableState) initRecoveryMetrics(reg *obs.Registry) {
 			if ns == 0 {
 				return 0
 			}
-			return time.Since(time.Unix(0, ns)).Seconds()
+			return d.a.clock.Now().Sub(time.Unix(0, ns)).Seconds()
 		})
 }

@@ -32,7 +32,7 @@ import (
 // tracker holds the per-event delivery watermarks.
 type tracker struct {
 	mu   sync.Mutex
-	seen map[string]*eventWatermark // keyed by internal event name
+	seen map[string]*eventWatermark // keyed by internal event name; guarded by mu
 }
 
 // eventWatermark is the last-seen occurrence number of one primitive
@@ -40,7 +40,7 @@ type tracker struct {
 type eventWatermark struct {
 	table string
 	op    string
-	last  int
+	last  int // guarded by mu (the owning tracker's)
 }
 
 // trackEvent registers a primitive event's delivery watermark. Creation
@@ -105,7 +105,8 @@ func (a *Agent) signal(p led.Primitive) {
 // Config.ResyncInterval; tests and operators can call it directly.
 func (a *Agent) Resync() error {
 	a.met.resyncSweeps.Inc()
-	defer a.met.resyncSec.ObserveSince(time.Now())
+	start := a.clock.Now()
+	defer func() { a.met.resyncSec.Observe(a.clock.Now().Sub(start).Seconds()) }()
 	type target struct {
 		event, table, op string
 		last             int
@@ -178,6 +179,7 @@ func (a *Agent) recoverRange(event string, auth int) {
 // resyncLoop is the periodic sweep goroutine.
 func (a *Agent) resyncLoop(interval time.Duration) {
 	defer a.bgWG.Done()
+	//ecavet:allow nowallclock resync sweep cadence is operational, not replayed
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {

@@ -162,6 +162,7 @@ func (r *retryUpstream) Exec(sql string) ([]*sqltypes.ResultSet, error) {
 			if r.onRetry != nil {
 				r.onRetry()
 			}
+			//ecavet:allow nowallclock reconnect backoff is operational wall-clock
 			time.Sleep(r.backoff(attempt))
 		}
 		up, err := r.conn()
@@ -201,6 +202,7 @@ func (r *retryUpstream) execAttempt(up Upstream, sql string) ([]*sqltypes.Result
 		rs, err := up.Exec(sql)
 		done <- outcome{rs, err}
 	}()
+	//ecavet:allow nowallclock per-attempt upstream deadline is operational wall-clock
 	timer := time.NewTimer(r.cfg.AttemptTimeout)
 	defer timer.Stop()
 	select {

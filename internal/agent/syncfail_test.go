@@ -1,0 +1,107 @@
+package agent
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/faults"
+	"github.com/activedb/ecaagent/internal/storage"
+)
+
+// failFS wraps a working FS and makes every File's Sync or Close fail on
+// demand — the fault the syncerr analyzer exists for: an fsync error that
+// is reported exactly once, at the call, and nowhere else.
+type failFS struct {
+	storage.FS
+	failSync  atomic.Bool
+	failClose atomic.Bool
+}
+
+var errDiskGone = errors.New("simulated I/O error: device gone")
+
+func (f *failFS) Create(name string) (storage.File, error) {
+	file, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{File: file, fs: f}, nil
+}
+
+type failFile struct {
+	storage.File
+	fs *failFS
+}
+
+func (f *failFile) Sync() error {
+	if f.fs.failSync.Load() {
+		return errDiskGone
+	}
+	return f.File.Sync()
+}
+
+func (f *failFile) Close() error {
+	if f.fs.failClose.Load() {
+		return errDiskGone
+	}
+	return f.File.Close()
+}
+
+// startFailAgent boots an agent over a failFS that is still healthy.
+func startFailAgent(t *testing.T) (*durableRig, *failFS, *Agent) {
+	t.Helper()
+	r := newDurableRig(t)
+	ffs := &failFS{FS: faults.NewCrashDir(1)}
+	a := r.start(func(cfg *Config) {
+		cfg.Durability = &Durability{FS: ffs, WALSync: WALSyncAlways}
+	})
+	t.Cleanup(func() { a.Close() })
+	return r, ffs, a
+}
+
+// TestCheckpointSurfacesSyncError: a failing fsync aborts the checkpoint
+// with an error instead of publishing an unsynced image.
+func TestCheckpointSurfacesSyncError(t *testing.T) {
+	_, ffs, a := startFailAgent(t)
+	ffs.failSync.Store(true)
+	err := a.Checkpoint()
+	if err == nil {
+		t.Fatal("Checkpoint succeeded with fsync failing")
+	}
+	if !errors.Is(err, errDiskGone) {
+		t.Fatalf("Checkpoint error = %v, want the injected sync error", err)
+	}
+	if !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("Checkpoint error %q does not identify the phase", err)
+	}
+}
+
+// TestCheckpointSurfacesCloseError: the close after a successful sync can
+// still fail (delayed-write errors surface at close) and must propagate.
+func TestCheckpointSurfacesCloseError(t *testing.T) {
+	_, ffs, a := startFailAgent(t)
+	ffs.failClose.Store(true)
+	err := a.Checkpoint()
+	if err == nil {
+		t.Fatal("Checkpoint succeeded with close failing")
+	}
+	if !errors.Is(err, errDiskGone) {
+		t.Fatalf("Checkpoint error = %v, want the injected close error", err)
+	}
+}
+
+// TestCheckpointRecoversAfterFault: once the fault clears, the next
+// checkpoint succeeds — the failed attempt left no half-published state
+// behind that blocks progress.
+func TestCheckpointRecoversAfterFault(t *testing.T) {
+	_, ffs, a := startFailAgent(t)
+	ffs.failSync.Store(true)
+	if err := a.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint succeeded with fsync failing")
+	}
+	ffs.failSync.Store(false)
+	if err := a.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after fault cleared: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+)
+
+// goListExport asks the toolchain for export data covering path and its
+// transitive dependencies (the unified export format resolves referenced
+// packages through the same lookup map, so the closure must be present).
+func goListExport(path string) (map[string]string, error) {
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	files := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -export %s: decoding: %v", path, err)
+		}
+		if p.Export != "" {
+			files[p.ImportPath] = p.Export
+		}
+	}
+	return files, nil
+}

@@ -1,0 +1,111 @@
+// Package fsyncorder enforces the durable-publish protocol on the
+// checkpoint/WAL layer: write tmp → fsync the file → rename → fsync the
+// directory (DESIGN.md §8). A Rename that publishes an unsynced file can
+// surface as a valid-looking checkpoint full of zeroes after power loss;
+// a rename whose directory entry is never synced can vanish entirely.
+// The crash-differential suite only catches a violation if a crash point
+// happens to straddle it — this analyzer rejects the code shape outright.
+//
+// The check is intra-function and positional: every call to a function or
+// method named Rename in a durable package must have (a) at least one
+// .Sync() call before it and (b) at least one .SyncDir() call after it in
+// the same function body. Functions named Rename themselves are exempt —
+// they are the primitive being wrapped (storage.OSDir.Rename), not a
+// publish sequence. Rename uses that legitimately deviate (none today)
+// carry a waiver.
+package fsyncorder
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/activedb/ecaagent/internal/analysis"
+)
+
+// DurablePackages lists the packages the protocol applies to. Exported so
+// fixture tests can temporarily extend it.
+var DurablePackages = []string{
+	"github.com/activedb/ecaagent/internal/agent",
+	"github.com/activedb/ecaagent/internal/storage",
+}
+
+// Analyzer is the fsyncorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncorder",
+	Doc:  "require the tmp→fsync→rename→dirsync publish protocol around every Rename in durable code",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageTargeted(pass.Pkg.Path(), DurablePackages) {
+		return nil
+	}
+	analysis.WalkFunctions(pass.Files, func(n ast.Node, stack []ast.Node) {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+			return
+		}
+		if fd.Name.Name == "Rename" {
+			return
+		}
+		var renames []token.Pos
+		var syncs, dirSyncs []token.Pos
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch calleeName(call) {
+			case "Rename":
+				renames = append(renames, call.Pos())
+			case "Sync":
+				syncs = append(syncs, call.Pos())
+			case "SyncDir":
+				dirSyncs = append(dirSyncs, call.Pos())
+			}
+			return true
+		})
+		for _, r := range renames {
+			if !anyBefore(syncs, r) {
+				pass.Reportf(r,
+					"durable publish: Rename without a preceding Sync of the written file in %s (protocol: write tmp, fsync, rename, fsync dir)",
+					fd.Name.Name)
+			}
+			if !anyAfter(dirSyncs, r) {
+				pass.Reportf(r,
+					"durable publish: Rename not followed by SyncDir in %s — the new directory entry is not durable until the directory is fsynced",
+					fd.Name.Name)
+			}
+		}
+	})
+	return nil
+}
+
+// calleeName extracts the called function's or method's bare name.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	case *ast.Ident:
+		return f.Name
+	}
+	return ""
+}
+
+func anyBefore(ps []token.Pos, p token.Pos) bool {
+	for _, x := range ps {
+		if x < p {
+			return true
+		}
+	}
+	return false
+}
+
+func anyAfter(ps []token.Pos, p token.Pos) bool {
+	for _, x := range ps {
+		if x > p {
+			return true
+		}
+	}
+	return false
+}

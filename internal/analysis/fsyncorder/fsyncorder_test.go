@@ -1,0 +1,13 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/analysis/analysistest"
+	"github.com/activedb/ecaagent/internal/analysis/fsyncorder"
+)
+
+func TestFsyncOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", fsyncorder.Analyzer,
+		"github.com/activedb/ecaagent/internal/storage/fofix")
+}

@@ -1,0 +1,49 @@
+// Package fofix exercises fsyncorder: its import path sits under the
+// durable prefix internal/storage.
+package fofix
+
+type file struct{}
+
+func (file) Sync() error { return nil }
+
+type dir struct{}
+
+func (dir) Rename(oldName, newName string) error { return nil }
+func (dir) SyncDir() error                       { return nil }
+
+// The full protocol: write tmp, fsync, rename, fsync dir.
+func publish(f file, d dir) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := d.Rename("ckpt.tmp", "ckpt"); err != nil {
+		return err
+	}
+	return d.SyncDir()
+}
+
+func missingSync(d dir) error {
+	if err := d.Rename("ckpt.tmp", "ckpt"); err != nil { // want `Rename without a preceding Sync`
+		return err
+	}
+	return d.SyncDir()
+}
+
+func missingDirSync(f file, d dir) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return d.Rename("ckpt.tmp", "ckpt") // want `Rename not followed by SyncDir`
+}
+
+func missingBoth(d dir) error {
+	return d.Rename("ckpt.tmp", "ckpt") // want `without a preceding Sync` `not followed by SyncDir`
+}
+
+// A function named Rename is the primitive being wrapped, not a publish
+// sequence — exempt even though it calls Rename with no Sync in sight.
+type wrapped struct{ d dir }
+
+func (w wrapped) Rename(oldName, newName string) error {
+	return w.d.Rename(oldName, newName)
+}

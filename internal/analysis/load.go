@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// The standalone driver: load packages via `go list -deps -export -json`
+// and analyze every non-dependency match from source. Imports resolve
+// through the export data `go list -export` makes the toolchain produce,
+// so no source beyond the analyzed package is ever re-type-checked —
+// exactly how the vettool mode works, minus cmd/go orchestrating it.
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+}
+
+// goList runs `go list` and decodes its JSON stream.
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// CheckPackages loads the packages matching the `go list` patterns and
+// runs the analyzers (with waiver filtering) over each non-dependency,
+// non-standard-library match. It returns all surviving diagnostics in one
+// position-sorted slice.
+func CheckPackages(patterns []string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exportFiles := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, nil, exportFiles)
+	var all []Diagnostic
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		names := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			names[i] = filepath.Join(p.Dir, f)
+		}
+		files, err := ParseFiles(fset, names)
+		if err != nil {
+			return nil, nil, err
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		pkg, err := TypeCheck(fset, p.ImportPath, files, imp, goVersion)
+		if err != nil {
+			return nil, nil, err
+		}
+		diags, err := RunWithWaivers(pkg, analyzers)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(fset, all)
+	return all, fset, nil
+}

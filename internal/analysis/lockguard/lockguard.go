@@ -1,0 +1,199 @@
+// Package lockguard enforces `// guarded by <mu>` field annotations: a
+// struct field carrying the annotation may only be read or written while
+// the named mutex is held. The race detector catches violations only when
+// two goroutines actually collide during a test run; this analyzer rejects
+// the unlocked access pattern statically.
+//
+// The heuristic is flow-insensitive but positional. An access to a guarded
+// field is considered protected when any enclosing function (the access's
+// function or one it is nested in as a literal):
+//
+//   - contains a call <expr>.<mu>.Lock() or <expr>.<mu>.RLock() textually
+//     before the access, where <mu> is the annotated mutex name, or
+//   - is a declared function whose name ends in "Locked" — the repo's
+//     convention for helpers that document "caller holds the lock".
+//
+// Accesses in composite literals (struct construction before the value is
+// shared) are exempt, as are _test.go files. Anything else needs either a
+// restructure or an explicit //ecavet:allow lockguard waiver.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/activedb/ecaagent/internal/analysis"
+)
+
+// Analyzer is the lockguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "require `// guarded by <mu>` annotated fields to be accessed only under their mutex",
+	Run:  run,
+}
+
+var guardedRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// guarded maps a field object to the name of the mutex that protects it.
+type guarded map[types.Object]string
+
+func run(pass *analysis.Pass) error {
+	fields := collectGuarded(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	// Composite-literal field values (and keys) are construction, not
+	// shared-state access; collect their node spans to exempt them.
+	var litSpans []span
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if cl, ok := n.(*ast.CompositeLit); ok {
+				litSpans = append(litSpans, span{cl.Pos(), cl.End()})
+			}
+			return true
+		})
+	}
+	analysis.WalkFunctions(pass.Files, func(n ast.Node, stack []ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || pass.InTestFile(sel.Pos()) {
+			return
+		}
+		obj := useOf(pass, sel)
+		mu, ok := fields[obj]
+		if !ok {
+			return
+		}
+		if inSpan(litSpans, sel.Pos()) {
+			return
+		}
+		if lockHeld(stack, mu, sel.Pos()) {
+			return
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"lock: %s is guarded by %s but accessed in %s without %s.Lock/RLock held",
+			obj.Name(), mu, enclosingName(stack), mu)
+	})
+	return nil
+}
+
+// collectGuarded finds every struct field annotated `// guarded by <mu>`
+// (in the field's doc comment or trailing line comment).
+func collectGuarded(pass *analysis.Pass) guarded {
+	fields := make(guarded)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardName(fld.Doc)
+				if mu == "" {
+					mu = guardName(fld.Comment)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						fields[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+func guardName(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// useOf resolves the object a selector refers to, whether the selection is
+// a direct use or goes through types.Selections (field through embedding
+// or pointer).
+func useOf(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		return s.Obj()
+	}
+	return pass.TypesInfo.Uses[sel.Sel]
+}
+
+// lockHeld reports whether, in some enclosing function, mu appears locked
+// before pos: either a textual <x>.<mu>.Lock/RLock call earlier in that
+// function, or the function is a *Locked-suffixed helper.
+func lockHeld(stack []ast.Node, mu string, pos token.Pos) bool {
+	for _, fn := range stack {
+		if d, ok := fn.(*ast.FuncDecl); ok && strings.HasSuffix(d.Name.Name, "Locked") {
+			return true
+		}
+		body := funcBody(fn)
+		if body == nil {
+			continue
+		}
+		held := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() >= pos {
+				return true
+			}
+			m, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (m.Sel.Name != "Lock" && m.Sel.Name != "RLock") {
+				return true
+			}
+			if recv, ok := m.X.(*ast.SelectorExpr); ok && recv.Sel.Name == mu {
+				held = true
+			} else if id, ok := m.X.(*ast.Ident); ok && id.Name == mu {
+				held = true
+			}
+			return true
+		})
+		if held {
+			return true
+		}
+	}
+	return false
+}
+
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+func enclosingName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if d, ok := stack[i].(*ast.FuncDecl); ok {
+			return d.Name.Name
+		}
+	}
+	if len(stack) > 0 {
+		return "func literal"
+	}
+	return "package scope"
+}
+
+type span struct{ lo, hi token.Pos }
+
+func inSpan(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if s.lo <= pos && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}

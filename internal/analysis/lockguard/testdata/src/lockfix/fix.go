@@ -1,0 +1,61 @@
+// Package lockfix exercises lockguard. The analyzer applies everywhere an
+// annotation exists, so the fixture needs no special import path.
+package lockfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // unguarded: never flagged
+}
+
+func (c *counter) locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) unlocked() int {
+	return c.n // want `n is guarded by mu but accessed in unlocked`
+}
+
+func (c *counter) unguardedField() int { return c.m }
+
+// The *Locked suffix is the repo convention for "caller holds the lock".
+func (c *counter) bumpLocked() { c.n++ }
+
+// Composite literals are construction, before the value is shared.
+func construct() *counter {
+	return &counter{n: 1}
+}
+
+// A closure inherits the lock its enclosing function holds.
+func inherited(c *counter) {
+	c.mu.Lock()
+	f := func() { c.n++ }
+	f()
+	c.mu.Unlock()
+}
+
+// The check is positional: locking after the access does not excuse it.
+func lockTooLate(c *counter) {
+	c.n = 2 // want `n is guarded by mu`
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int // guarded by mu
+}
+
+func read(t *table, k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+func dirtyRead(t *table, k string) int {
+	return t.rows[k] // want `rows is guarded by mu`
+}

@@ -1,0 +1,14 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/analysis/analysistest"
+	"github.com/activedb/ecaagent/internal/analysis/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", nowallclock.Analyzer,
+		"github.com/activedb/ecaagent/internal/led/nwcfix",
+		"plainfix")
+}

@@ -1,0 +1,35 @@
+// Package nwcfix exercises nowallclock: its import path sits under the
+// deterministic prefix internal/led, so every wall-clock read is flagged.
+package nwcfix
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Second)         // want `wall clock: time.Sleep`
+	<-time.After(time.Millisecond)  // want `wall clock: time.After`
+	t := time.NewTicker(time.Hour)  // want `wall clock: time.NewTicker`
+	t.Stop()
+	_ = time.Since(time.Time{}) // want `wall clock: time.Since`
+	return time.Now()           // want `wall clock: time.Now`
+}
+
+// Methods of time.Time share names with the package functions but are
+// pure value arithmetic — never flagged.
+func methodsAreFine(a, b time.Time) bool {
+	return a.After(b) || b.Before(a) || a.Sub(b) > 0
+}
+
+// Explicit constructors are data, not clock reads.
+func constructorsAreFine() time.Time {
+	return time.Unix(42, 0).Add(time.Minute)
+}
+
+type realClock struct{}
+
+// The seam's own implementation is the sanctioned wall-clock caller.
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) AfterFunc(d time.Duration, f func()) func() {
+	t := time.AfterFunc(d, f) // nested in a realClock method: allowed
+	return func() { t.Stop() }
+}

@@ -1,0 +1,7 @@
+// Package plainfix is outside the deterministic package set: the wall
+// clock is fine here and nothing is reported.
+package plainfix
+
+import "time"
+
+func uptime(start time.Time) time.Duration { return time.Since(start) }

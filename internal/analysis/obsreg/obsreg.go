@@ -1,0 +1,99 @@
+// Package obsreg requires obs instruments to be registered at
+// registration time — package init, a constructor, or an explicit
+// Enable/Register entry point — never lazily on a hot path. Lazy
+// registration means an instrument doesn't exist until the first event
+// that would increment it, so a scrape races startup and dashboards can't
+// tell "zero" from "not wired up yet"; it also puts the registry's
+// write lock on the data path.
+//
+// The analyzer flags any call to a *obs.Registry instrument-constructor
+// method (Counter, Gauge, Histogram, CounterFunc, GaugeFunc, CounterVec,
+// GaugeVec) whose nearest enclosing declared function is not a
+// registration context: a function named init or prefixed
+// Init/New/Enable/Register (either case). Package-level var initializers
+// count as init and are allowed.
+package obsreg
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/activedb/ecaagent/internal/analysis"
+)
+
+// ObsPackage is the import path of the metrics registry package. A var so
+// fixture tests can point it at a stub.
+var ObsPackage = "github.com/activedb/ecaagent/internal/obs"
+
+// constructors are the Registry methods that create-and-register an
+// instrument. Lookups of existing instruments (Snapshot etc.) are free.
+var constructors = map[string]bool{
+	"Counter":     true,
+	"Gauge":       true,
+	"Histogram":   true,
+	"CounterFunc": true,
+	"GaugeFunc":   true,
+	"CounterVec":  true,
+	"GaugeVec":    true,
+}
+
+// allowedPrefixes mark registration-context function names.
+var allowedPrefixes = []string{"init", "Init", "new", "New", "enable", "Enable", "register", "Register"}
+
+// Analyzer is the obsreg pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsreg",
+	Doc:  "require obs instruments to be registered in init/constructor/Enable contexts, not lazily on hot paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkFunctions(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || pass.InTestFile(call.Pos()) {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != ObsPackage || !constructors[obj.Name()] {
+			return
+		}
+		recv := obj.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return
+		}
+		name := enclosingDeclName(stack)
+		if name == "" || registrationContext(name) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"metrics: Registry.%s called in %s; register instruments at init/constructor time so they exist before the first scrape (or waive with //ecavet:allow obsreg <reason>)",
+			obj.Name(), name)
+	})
+	return nil
+}
+
+// enclosingDeclName walks outward to the nearest declared function's name;
+// "" means package scope (a var initializer — registration time by
+// construction).
+func enclosingDeclName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if d, ok := stack[i].(*ast.FuncDecl); ok {
+			return d.Name.Name
+		}
+	}
+	return ""
+}
+
+func registrationContext(name string) bool {
+	for _, p := range allowedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

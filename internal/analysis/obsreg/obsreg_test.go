@@ -1,0 +1,12 @@
+package obsreg_test
+
+import (
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/analysis/analysistest"
+	"github.com/activedb/ecaagent/internal/analysis/obsreg"
+)
+
+func TestObsReg(t *testing.T) {
+	analysistest.Run(t, "testdata", obsreg.Analyzer, "obsfix")
+}

@@ -1,0 +1,36 @@
+// Package obsfix exercises obsreg: instrument registration is allowed at
+// package scope and in init/constructor/Enable/Register contexts only.
+package obsfix
+
+import "github.com/activedb/ecaagent/internal/obs"
+
+var reg = &obs.Registry{}
+
+// Package-level var initializers are registration time by construction.
+var total = reg.Counter("total", "help")
+
+type metrics struct{ hits *obs.Counter }
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{hits: r.Counter("hits", "help")}
+}
+
+func init() {
+	reg.GaugeFunc("up", "help", func() float64 { return 1 })
+}
+
+func EnableMetrics(r *obs.Registry) {
+	_ = r.Histogram("lat", "help", nil)
+}
+
+func hotPath(r *obs.Registry) {
+	_ = r.Counter("lazy", "help") // want `Registry.Counter called in hotPath`
+}
+
+func process(r *obs.Registry) {
+	f := func() {
+		_ = r.Gauge("nested", "help") // want `Registry.Gauge called in process`
+	}
+	f()
+	_ = r.Snapshot() // reads of existing instruments are free anywhere
+}

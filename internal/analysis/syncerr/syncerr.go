@@ -1,0 +1,155 @@
+// Package syncerr forbids discarding the errors that carry the durability
+// guarantee. A dropped fsync error is the classic silent-corruption bug:
+// the kernel reports the write never reached the platter, the process
+// shrugs, and the checkpoint the recovery path will trust is garbage.
+//
+// In the durable packages (internal/agent, internal/storage) the analyzer
+// flags any call whose error result is discarded — an expression
+// statement, a `defer`/`go` statement, or an all-blank assignment — when
+// the callee is:
+//
+//   - any method or function named Sync or SyncDir, or
+//   - a method named Close or Append whose receiver type also has a
+//     Sync() method — i.e. a durable handle (storage.File, the WAL),
+//     where Close flushes state that matters, as opposed to, say, an
+//     io.ReadCloser whose Close is best-effort.
+//
+// Calls that return no error are ignored. Genuine best-effort discards
+// (e.g. closing an already-failed handle on an error path) take a
+// //ecavet:allow syncerr waiver with the justification inline.
+package syncerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/activedb/ecaagent/internal/analysis"
+)
+
+// DurablePackages lists the packages under enforcement. Exported so
+// fixture tests can temporarily extend it.
+var DurablePackages = []string{
+	"github.com/activedb/ecaagent/internal/agent",
+	"github.com/activedb/ecaagent/internal/storage",
+}
+
+// Analyzer is the syncerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc:  "forbid discarding errors from Sync/SyncDir/Close/Append on durable handles",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageTargeted(pass.Pkg.Path(), DurablePackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+				how = "discards the error"
+			case *ast.DeferStmt:
+				call = st.Call
+				how = "in a defer discards the error"
+			case *ast.GoStmt:
+				call = st.Call
+				how = "in a go statement discards the error"
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 || !allBlank(st.Lhs) {
+					return true
+				}
+				call, _ = st.Rhs[0].(*ast.CallExpr)
+				how = "assigns the error to _"
+			default:
+				return true
+			}
+			if call == nil || pass.InTestFile(call.Pos()) {
+				return true
+			}
+			name, durable := durableCallee(pass, call)
+			if !durable {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"durability: call to %s %s; a dropped sync/close error hides data loss — handle it or waive with //ecavet:allow syncerr <reason>",
+				name, how)
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// durableCallee reports whether call targets a durability-relevant method
+// that returns an error, and names it for the message.
+func durableCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !returnsError(obj) {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Sync", "SyncDir":
+		return calleeLabel(pass, sel, obj), true
+	case "Close", "Append":
+		recv := obj.Type().(*types.Signature).Recv()
+		if recv != nil && hasSyncMethod(recv.Type()) {
+			return calleeLabel(pass, sel, obj), true
+		}
+	}
+	return "", false
+}
+
+func returnsError(obj *types.Func) bool {
+	errType := types.Universe.Lookup("error").Type()
+	res := obj.Type().(*types.Signature).Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSyncMethod reports whether t (or *t) has a Sync method — the marker
+// distinguishing durable handles from incidental io.Closers.
+func hasSyncMethod(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		if m, _, _ := types.LookupFieldOrMethod(typ, true, nil, "Sync"); m != nil {
+			if _, ok := m.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeLabel renders "<recvType>.<method>" for the diagnostic.
+func calleeLabel(pass *analysis.Pass, sel *ast.SelectorExpr, obj *types.Func) string {
+	if tv, ok := pass.TypesInfo.Types[sel.X]; ok && tv.Type != nil {
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + obj.Name()
+		}
+	}
+	return obj.Name()
+}

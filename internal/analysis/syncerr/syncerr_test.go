@@ -1,0 +1,13 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/analysis/analysistest"
+	"github.com/activedb/ecaagent/internal/analysis/syncerr"
+)
+
+func TestSyncErr(t *testing.T) {
+	analysistest.Run(t, "testdata", syncerr.Analyzer,
+		"github.com/activedb/ecaagent/internal/agent/sefix")
+}

@@ -1,0 +1,36 @@
+// Package sefix exercises syncerr: its import path sits under the durable
+// prefix internal/agent.
+package sefix
+
+type durableFile struct{}
+
+func (durableFile) Sync() error         { return nil }
+func (durableFile) Close() error        { return nil }
+func (durableFile) Append(b []byte) error { return nil }
+
+// plainCloser has no Sync method: its Close is best-effort and never
+// flagged.
+type plainCloser struct{}
+
+func (plainCloser) Close() error { return nil }
+
+type dir struct{}
+
+func (dir) SyncDir() error { return nil }
+
+func discards(f durableFile, p plainCloser, d dir) {
+	f.Sync()        // want `durableFile.Sync discards the error`
+	f.Append(nil)   // want `durableFile.Append discards the error`
+	defer f.Close() // want `durableFile.Close in a defer discards the error`
+	go f.Sync()     // want `durableFile.Sync in a go statement discards the error`
+	_ = f.Sync()    // want `durableFile.Sync assigns the error to _`
+	d.SyncDir()     // want `dir.SyncDir discards the error`
+	p.Close()
+}
+
+func handled(f durableFile) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

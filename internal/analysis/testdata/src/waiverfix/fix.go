@@ -1,0 +1,22 @@
+// Package waiverfix exercises the //ecavet:allow protocol end to end with
+// the badcall test analyzer (it flags every call to bad()).
+package waiverfix
+
+func bad() {}
+
+func unwaived() {
+	bad() // want `call to bad`
+}
+
+func waivedSameLine() {
+	bad() //ecavet:allow badcall exercising the trailing-waiver form
+}
+
+func waivedLineAbove() {
+	//ecavet:allow badcall exercising the line-above form
+	bad()
+}
+
+func stale() {
+	//ecavet:allow badcall nothing left to suppress // want `stale waiver: no badcall finding`
+}

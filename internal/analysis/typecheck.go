@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// NewExportImporter builds a types importer that resolves imports from
+// compiler export-data files — the same files cmd/go hands a vet tool in
+// PackageFile, or `go list -export` reports in .Export. importMap
+// translates source-level import paths to canonical package paths
+// (identity when nil); exportFiles maps canonical paths to export files.
+func NewExportImporter(fset *token.FileSet, importMap, exportFiles map[string]string) types.ImporterFrom {
+	var lookup = func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	inner := importer.ForCompiler(fset, "gc", lookup)
+	return &exportImporter{inner: inner.(types.ImporterFrom), importMap: importMap}
+}
+
+type exportImporter struct {
+	inner     types.ImporterFrom
+	importMap map[string]string
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := e.importMap[path]; ok {
+		path = mapped
+	}
+	return e.inner.ImportFrom(path, dir, 0)
+}
+
+// ParseFiles parses the named Go files with comments (the waiver scanner
+// and lockguard's guarded-by annotations live in comments).
+func ParseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// NewInfo allocates a types.Info with every map analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// TypeCheck type-checks one package's parsed files into a Package ready
+// for Run. goVersion may be "" (the toolchain default) or a "go1.N"
+// string from the vet config / go.mod.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error:     func(error) {}, // collect just the first hard error below
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}

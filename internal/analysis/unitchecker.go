@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// The `go vet -vettool` driver. cmd/go speaks a small protocol to a vet
+// tool (golang.org/x/tools/go/analysis/unitchecker is the reference
+// implementation; this is a stdlib-only reimplementation of the subset
+// ecavet needs):
+//
+//   - `ecavet -V=full` prints "ecavet version <v>" — cmd/go hashes the
+//     line into the vet action's build-cache key, so the version string
+//     embeds a content hash of the binary: rebuilding ecavet invalidates
+//     cached vet results.
+//   - `ecavet -flags` prints a JSON description of the tool's flags
+//     (ecavet has none, so "[]") — cmd/go uses it to split the `go vet`
+//     command line.
+//   - `ecavet <objdir>/vet.cfg` analyzes one package. The JSON config
+//     carries the file list, the import map, and the export-data file of
+//     every dependency; diagnostics go to stderr and a non-zero exit
+//     fails `go vet`. The facts file (VetxOutput) is written empty —
+//     ecavet's analyzers are all intraprocedural-per-package and exchange
+//     no facts — but must exist for cmd/go to cache the result.
+//
+// Packages outside this module (the standard library, and any future
+// dependency) are skipped wholesale: cmd/go still requests a facts-only
+// pass over them, which returns immediately.
+
+// vetConfig mirrors the fields of cmd/go's vet config JSON that ecavet
+// consumes.
+type vetConfig struct {
+	ID           string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/ecavet: it dispatches between the
+// cmd/go protocol verbs and, when given package patterns instead of a
+// .cfg file, the standalone `go list` driver in load.go. It never
+// returns.
+func Main(analyzers []*Analyzer) {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		fmt.Printf("ecavet version v1.0.0-%s\n", selfHash())
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(unitcheck(args[0], analyzers))
+	case len(args) > 0:
+		os.Exit(standalone(args, analyzers))
+	default:
+		fmt.Fprintln(os.Stderr, `usage: ecavet <packages>   (standalone, e.g. ecavet ./...)
+   or: go vet -vettool=$(which ecavet) <packages>`)
+		os.Exit(2)
+	}
+}
+
+// selfHash fingerprints the running executable so cmd/go's vet cache key
+// changes whenever ecavet is rebuilt.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil))[:12]
+			}
+		}
+	}
+	return "unknown"
+}
+
+// unitcheck analyzes the single package described by the vet config file,
+// returning the process exit code.
+func unitcheck(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecavet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ecavet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The facts file must exist even for skipped packages, or cmd/go
+	// re-runs the pass on every build instead of caching it.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "ecavet: writing facts: %v\n", err)
+			}
+		}
+	}
+
+	if cfg.VetxOnly || !inModule(cfg.ImportPath, cfg.ModulePath) || len(cfg.GoFiles) == 0 {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ecavet: %v\n", err)
+		return 1
+	}
+	imp := NewExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, err := TypeCheck(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ecavet: %v\n", err)
+		return 1
+	}
+	diags, err := RunWithWaivers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecavet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	writeVetx()
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// inModule reports whether importPath belongs to modulePath. Test
+// variants carry an " [pkg.test]" suffix on the import path; external
+// test packages a "_test" one — both still prefix-match.
+func inModule(importPath, modulePath string) bool {
+	if modulePath == "" {
+		return false
+	}
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	return importPath == modulePath || strings.HasPrefix(importPath, modulePath+"/")
+}
+
+// standalone runs the suite over `go list` package patterns — the
+// fallback driver for environments without `go vet -vettool`, and the
+// engine behind the repo self-check test.
+func standalone(patterns []string, analyzers []*Analyzer) int {
+	diags, fset, err := CheckPackages(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecavet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

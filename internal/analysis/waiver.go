@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The waiver protocol. A finding that is understood and accepted is
+// silenced in the source with
+//
+//	//ecavet:allow <analyzer> <reason>
+//
+// either trailing the offending line or on its own line immediately
+// above. The analyzer name must match a registered analyzer and the
+// reason is mandatory — a waiver without one is itself a diagnostic (and
+// `make fmt` rejects it before the analyzers even run). A waiver that
+// suppresses nothing is stale and reported too, so waivers rot visibly
+// instead of silently outliving the code they excused.
+
+// WaiverPrefix is the comment marker, sans "//".
+const WaiverPrefix = "ecavet:allow"
+
+// A Waiver is one parsed //ecavet:allow comment.
+type Waiver struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string // "" when malformed
+	Reason   string // "" when malformed
+}
+
+// CollectWaivers scans every comment in the files for waiver markers.
+// Comments inside _test.go files are ignored, mirroring the analyzers
+// (nothing there needs waiving, so anything there would always be stale).
+func CollectWaivers(fset *token.FileSet, files []*ast.File) []Waiver {
+	var out []Waiver
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+WaiverPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				w := Waiver{Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
+				fields := strings.Fields(text)
+				if len(fields) >= 2 {
+					w.Analyzer = fields[0]
+					w.Reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// ApplyWaivers filters diags through the waivers. A diagnostic is
+// suppressed when a well-formed waiver names its analyzer and sits on the
+// same line or the line directly above it, in the same file. The returned
+// slice contains the surviving diagnostics plus one synthetic "ecavet"
+// diagnostic for each malformed waiver, waiver naming an analyzer not in
+// known, and stale waiver.
+func ApplyWaivers(fset *token.FileSet, diags []Diagnostic, waivers []Waiver, known map[string]bool) []Diagnostic {
+	used := make([]bool, len(waivers))
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for i, w := range waivers {
+			if w.Analyzer != d.Analyzer || w.File != pos.Filename {
+				continue
+			}
+			if w.Line == pos.Line || w.Line == pos.Line-1 {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for i, w := range waivers {
+		switch {
+		case w.Analyzer == "":
+			out = append(out, Diagnostic{Pos: w.Pos, Analyzer: "ecavet",
+				Message: "malformed waiver: want //ecavet:allow <analyzer> <reason>"})
+		case !known[w.Analyzer]:
+			out = append(out, Diagnostic{Pos: w.Pos, Analyzer: "ecavet",
+				Message: "waiver names unknown analyzer " + w.Analyzer})
+		case !used[i]:
+			out = append(out, Diagnostic{Pos: w.Pos, Analyzer: "ecavet",
+				Message: "stale waiver: no " + w.Analyzer + " finding on this or the next line"})
+		}
+	}
+	return out
+}

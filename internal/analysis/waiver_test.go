@@ -1,0 +1,104 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/analysis"
+	"github.com/activedb/ecaagent/internal/analysis/analysistest"
+)
+
+// badcall flags every call to a function literally named bad — a minimal
+// analyzer for driving the waiver machinery.
+var badcall = &analysis.Analyzer{
+	Name: "badcall",
+	Doc:  "flags calls to bad()",
+	Run: func(pass *analysis.Pass) error {
+		analysis.WalkFunctions(pass.Files, func(n ast.Node, _ []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || pass.InTestFile(call.Pos()) {
+				return
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+				pass.Reportf(call.Pos(), "call to bad")
+			}
+		})
+		return nil
+	},
+}
+
+// TestWaiverFixture drives the full pipeline over a fixture: an unwaived
+// finding survives, both waiver placements suppress, a stale waiver is
+// itself reported.
+func TestWaiverFixture(t *testing.T) {
+	analysistest.RunWithWaivers(t, "testdata", []*analysis.Analyzer{badcall}, "waiverfix")
+}
+
+// parseOne wraps src in a file and returns its fset + file.
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// TestWaiverHygiene covers the shapes a fixture cannot express with
+// same-line want comments: a waiver with no reason is malformed, and a
+// waiver naming an analyzer the suite does not know is reported.
+func TestWaiverHygiene(t *testing.T) {
+	src := `package p
+
+func f() {
+	//ecavet:allow
+	//ecavet:allow nosuchanalyzer with a perfectly fine reason
+}
+`
+	fset, f := parseOne(t, src)
+	ws := analysis.CollectWaivers(fset, []*ast.File{f})
+	if len(ws) != 2 {
+		t.Fatalf("collected %d waivers, want 2", len(ws))
+	}
+	out := analysis.ApplyWaivers(fset, nil, ws, map[string]bool{"badcall": true})
+	if len(out) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(out), out)
+	}
+	if !strings.Contains(out[0].Message, "malformed waiver") {
+		t.Errorf("first diagnostic = %q, want malformed waiver", out[0].Message)
+	}
+	if !strings.Contains(out[1].Message, "unknown analyzer nosuchanalyzer") {
+		t.Errorf("second diagnostic = %q, want unknown analyzer", out[1].Message)
+	}
+	for _, d := range out {
+		if d.Analyzer != "ecavet" {
+			t.Errorf("waiver diagnostics must come from the ecavet meta-analyzer, got %q", d.Analyzer)
+		}
+	}
+}
+
+// TestWaiverSuppression checks the positional rule directly: same line
+// and line-above suppress; two lines above does not.
+func TestWaiverSuppression(t *testing.T) {
+	src := `package p
+
+func f() {
+	//ecavet:allow badcall two lines above the finding, too far
+	_ = 0
+}
+`
+	fset, f := parseOne(t, src)
+	ws := analysis.CollectWaivers(fset, []*ast.File{f})
+	diag := analysis.Diagnostic{Pos: f.End() - 1, Analyzer: "badcall", Message: "call to bad"}
+	out := analysis.ApplyWaivers(fset, []analysis.Diagnostic{diag}, ws, map[string]bool{"badcall": true})
+	// The finding is on the closing-brace line (6); the waiver on line 4
+	// is out of range, so both the finding and the now-stale waiver
+	// survive.
+	if len(out) != 2 {
+		t.Fatalf("got %d diagnostics, want finding + stale waiver: %+v", len(out), out)
+	}
+}

@@ -32,12 +32,12 @@ type GED struct {
 	// LED's shard locks, not on a single GED mutex.
 	mu    sync.RWMutex
 	led   *led.LED
-	sites map[string]bool
+	sites map[string]bool // guarded by mu
 	// autoRegister lets Signal register unknown sites on first contact.
 	// Off by default: RegisterSite promises "already registered" errors,
 	// and silently adopting any sender contradicts that contract (and lets
 	// a typoed site name shadow a real one forever).
-	autoRegister bool
+	autoRegister bool // guarded by mu
 
 	sigAccepted atomic.Uint64
 	sigAutoReg  atomic.Uint64

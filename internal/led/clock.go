@@ -11,9 +11,9 @@ import (
 // synchronously, in timestamp order, before Advance returns.
 type ManualClock struct {
 	mu     sync.Mutex
-	now    time.Time
-	timers []*manualTimer
-	nextID int
+	now    time.Time      // guarded by mu
+	timers []*manualTimer // guarded by mu
+	nextID int            // guarded by mu
 }
 
 type manualTimer struct {

@@ -192,6 +192,12 @@ func (realClock) AfterFunc(d time.Duration, f func()) func() {
 	return func() { t.Stop() }
 }
 
+// SystemClock returns the wall-clock Clock the LED defaults to. Exported
+// so other layers (the agent) can share one seam instead of each reaching
+// for time.Now — which the nowallclock analyzer forbids in deterministic
+// packages.
+func SystemClock() Clock { return realClock{} }
+
 // firing is one pending rule execution. seq is its outstanding-set key
 // when firing tracking is on (see noteFired); zero otherwise.
 type firing struct {
@@ -512,7 +518,10 @@ func (l *LED) Signal(p Primitive) {
 		p.At = l.clock.Now()
 	}
 	if m := l.met.Load(); m != nil {
-		defer m.detectSec.ObserveSince(time.Now())
+		// Measure through the clock seam so the histogram is exact (and
+		// typically zero) under ManualClock replay.
+		start := l.clock.Now()
+		defer func() { m.detectSec.Observe(l.clock.Now().Sub(start).Seconds()) }()
 	}
 	l.mu.RLock()
 	sh, ok := l.eventShard[p.Event]

@@ -12,10 +12,10 @@ type detachedPool struct {
 	run func(firing)
 
 	mu         sync.Mutex
-	queue      []firing
-	workers    int
+	queue      []firing // guarded by mu
+	workers    int      // guarded by mu
 	maxWorkers int
-	peak       int
+	peak       int // guarded by mu
 
 	// wg counts queued-but-unfinished firings, so wait drains the queue,
 	// not just in-flight workers (shutdown after a burst completes).

@@ -27,7 +27,7 @@ type shard struct {
 	refs map[string]int
 	// pending accumulates rule firings during one graph propagation; it is
 	// only touched under mu.
-	pending []firing
+	pending []firing // guarded by mu
 }
 
 // newShard allocates an empty shard registered in l. Caller holds l.mu.
