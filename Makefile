@@ -1,13 +1,14 @@
 GO ?= go
 ECAVET := bin/ecavet
 
-.PHONY: check fmt vet lint build test race differential crash-suite fuzz bench-json metrics-smoke
+.PHONY: check fmt vet lint build test race differential crash-suite cluster-chaos fuzz bench-json metrics-smoke
 
 # The full pre-merge gate: static checks (including the ecavet invariant
 # suite), a clean build, the entire test suite under the race detector, an
-# explicit pass over the sharded-LED differential equivalence suite, and
-# the crash-recovery differential matrix (both also under -race).
-check: fmt vet lint build race differential crash-suite
+# explicit pass over the sharded-LED differential equivalence suite, the
+# crash-recovery differential matrix, and the cluster failover chaos
+# suite (all under -race).
+check: fmt vet lint build race differential crash-suite cluster-chaos
 
 # gofmt -l prints nonconforming files; any output fails the gate. The
 # second check is waiver hygiene: every //ecavet:allow needs an analyzer
@@ -59,6 +60,18 @@ differential:
 # The drain/DLQ/watermark restart satellites ride along, all under -race.
 crash-suite:
 	$(GO) test -race -count=1 -run 'TestCrashDifferential|TestDLQPersistsAcrossRestart|TestWatermarkSeededBeforeDeliver|TestCloseDrainDeadlineWedged|TestRecoveryMetricsExposed|TestWALDecodeDamage|TestCheckpointDecodeDamage|TestCheckpointRoundTrip' ./internal/agent
+
+# The cluster failover proof (DESIGN.md §10): the hot pair killed at the
+# agent's seven durability crash points plus the mid-replication windows,
+# the promoted standby required to reproduce the crash-free oracle's
+# occurrence set and action multiset for every Snoop operator x context,
+# with promotion latency asserted on a deterministic clock; zombie
+# fencing under a faults.Pipe partition, the affinity router's
+# degradation ladder, and the replication frame/shipper/applier tests
+# ride along. The hard -timeout turns a wedged promotion into a loud
+# failure instead of a hung gate.
+cluster-chaos:
+	$(GO) test -race -count=1 -timeout 300s ./internal/cluster
 
 # Short fuzzing passes over the notification decoders, the Snoop parser,
 # and the checkpoint/journal decoders (seed corpora always run under

@@ -1,0 +1,243 @@
+// Cluster mode: the same binary plays primary or standby in the hot-pair
+// deployment internal/cluster implements.
+//
+//   - Primary (-repl-ship addr): the durability layer's filesystem is teed
+//     through a ShipFS, so every checkpoint byte and WAL record the agent
+//     makes durable locally is also framed and streamed to the standby,
+//     along with heartbeats and the rule-definition feed. Ship failures
+//     degrade replication (counted, logged), never local durability.
+//   - Standby (-repl-listen addr): the process applies the primary's
+//     stream into -checkpoint-dir and watches the heartbeat cadence.
+//     When the configured number of consecutive intervals pass without a
+//     beat, it promotes: it stops replicating and boots the ordinary
+//     agent over the replicated directory — checkpoint restore, journal
+//     replay and the shadow-table resync do the actual recovery work.
+//
+// Fencing note: the in-process epoch registry used here protects a single
+// machine. A deployment where the old primary may still be alive must back
+// cluster.Authority with shared state (an epoch row in the SQL server both
+// nodes already talk to) so the zombie's writes are rejected; see
+// DESIGN.md §10.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/agent"
+	"github.com/activedb/ecaagent/internal/cluster"
+	"github.com/activedb/ecaagent/internal/led"
+	"github.com/activedb/ecaagent/internal/obs"
+	"github.com/activedb/ecaagent/internal/storage"
+)
+
+// clusterFlags collects the cluster-mode command line.
+type clusterFlags struct {
+	node       string
+	ship       string
+	listen     string
+	hbInterval time.Duration
+	hbMisses   int
+}
+
+func registerClusterFlags(cf *clusterFlags) {
+	flag.StringVar(&cf.node, "cluster-node", "", "this node's name in the cluster (required with -repl-ship / -repl-listen)")
+	flag.StringVar(&cf.ship, "repl-ship", "", "primary mode: stream checkpoints, WAL and heartbeats to the standby at this address")
+	flag.StringVar(&cf.listen, "repl-listen", "", "standby mode: apply a primary's replication stream from this address, promote when its heartbeats stop")
+	flag.DurationVar(&cf.hbInterval, "heartbeat-interval", 500*time.Millisecond, "heartbeat period (primary) and silence-check cadence (standby)")
+	flag.IntVar(&cf.hbMisses, "heartbeat-misses", 3, "consecutive silent intervals before the standby suspects the primary")
+}
+
+func (cf *clusterFlags) active() bool { return cf.ship != "" || cf.listen != "" }
+
+func (cf *clusterFlags) validate(ckptDir string) {
+	if !cf.active() {
+		return
+	}
+	if cf.node == "" {
+		log.Fatal("ecaagent: -cluster-node is required with -repl-ship / -repl-listen")
+	}
+	if ckptDir == "" {
+		log.Fatal("ecaagent: cluster replication requires -checkpoint-dir (the replicated state lives there)")
+	}
+}
+
+// runStandbyPhase applies the primary's stream until the missed-heartbeat
+// threshold promotes this node (returns the highest fencing epoch the dead
+// primary announced) or a signal stops the process. It runs before the
+// agent exists; httpAddr, when set, serves a minimal probe surface
+// (/livez, /readyz reporting "standby", /metrics) in the meantime.
+func runStandbyPhase(cf *clusterFlags, ckptDir, httpAddr string, reg *obs.Registry, met *cluster.Metrics) (peerEpoch uint64) {
+	met.SetRole(cluster.RoleStandby)
+	ap := cluster.NewApplier(storage.OSDir{Dir: ckptDir}, met)
+	promoted := make(chan struct{})
+	mon := cluster.NewMonitor(cluster.MonitorConfig{
+		Clock:    led.SystemClock(),
+		Interval: cf.hbInterval,
+		Misses:   cf.hbMisses,
+	}, met, func() { close(promoted) })
+	// Arm failure detection only once a primary has spoken: a standby that
+	// boots first must wait for its primary, not promote over silence that
+	// was never preceded by life.
+	var arm sync.Once
+	ap.OnHeartbeat = func(seq, epoch uint64) {
+		arm.Do(mon.Start)
+		mon.Beat(seq, epoch)
+	}
+
+	addr, stopListen, err := cluster.ListenStandby(cf.listen, ap)
+	if err != nil {
+		log.Fatalf("ecaagent: standby listener: %v", err)
+	}
+	log.Printf("ecaagent: standby %s: replicating into %s from %s (promote after %d×%s of silence)",
+		cf.node, ckptDir, addr, cf.hbMisses, cf.hbInterval)
+
+	var srv *http.Server
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			log.Fatalf("ecaagent: standby http: %v", err)
+		}
+		srv = &http.Server{Handler: standbyHandler(reg, met)}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("ecaagent: standby http: %v", err)
+			}
+		}()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-promoted:
+	case <-stop:
+		log.Printf("ecaagent: standby shutting down")
+		mon.Stop()
+		stopListen()
+		if err := ap.Close(); err != nil {
+			log.Printf("ecaagent: standby close: %v", err)
+		}
+		os.Exit(0)
+	}
+	signal.Stop(stop)
+
+	// Promotion: stop replicating, release the probe port for the real
+	// admin server, and let the ordinary boot path recover from the
+	// replicated directory.
+	mon.Stop()
+	stopListen()
+	if err := ap.Close(); err != nil {
+		log.Printf("ecaagent: promoting with close error: %v", err)
+	}
+	if srv != nil {
+		srv.Close()
+	}
+	met.SetRole(cluster.RolePromoting)
+	met.Promotions.Inc()
+	peer, epoch := ap.Peer()
+	log.Printf("ecaagent: standby %s: primary %s went silent (epoch %d) — promoting", cf.node, peer, epoch)
+	return epoch
+}
+
+// standbyHandler is the pre-promotion observability surface: liveness,
+// a readiness probe that tells routers to keep notifications away, and
+// the cluster metrics.
+func standbyHandler(reg *obs.Registry, met *cluster.Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	live := func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	}
+	mux.HandleFunc("/livez", live)
+	mux.HandleFunc("/healthz", live)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(met.Role() + "\n"))
+	})
+	return mux
+}
+
+// primaryReplication is the primary-side cluster wiring hung off the
+// agent's config.
+type primaryReplication struct {
+	shipper *cluster.Shipper
+	hb      *cluster.Heartbeater
+	ship    *cluster.ShipFS
+	met     *cluster.Metrics
+}
+
+// wirePrimaryReplication tees cfg.Durability through a ShipFS streaming to
+// the standby, hooks the rule-definition feed, and prepares the heartbeat
+// beacon (started once the agent is up). floorEpoch carries the dead
+// primary's epoch across a promotion so the new primary's announcements
+// supersede it.
+func wirePrimaryReplication(cf *clusterFlags, cfg *agent.Config, ckptDir string, floorEpoch uint64, met *cluster.Metrics) *primaryReplication {
+	auth := cluster.NewEpochRegistry()
+	epoch, err := auth.Acquire(cf.node)
+	if err != nil {
+		log.Fatalf("ecaagent: acquiring fencing epoch: %v", err)
+	}
+	if epoch <= floorEpoch {
+		epoch = floorEpoch + 1
+	}
+	tok := &cluster.Token{}
+	tok.Set(epoch)
+
+	var sh *cluster.Shipper
+	ship := cluster.NewShipFS(storage.OSDir{Dir: ckptDir},
+		func(f cluster.Frame) error { return sh.Ship(f) }, nil, met)
+	sh = cluster.NewShipper(cluster.ShipperConfig{
+		Addr:     cf.ship,
+		Node:     cf.node,
+		Tok:      tok,
+		Snapshot: ship.SnapshotFrames,
+	}, met)
+
+	cfg.Durability.FS = ship
+	cfg.DefinitionSink = func(record []byte) {
+		if err := sh.Ship(cluster.Frame{Kind: cluster.FrameRule, Name: cf.node, Payload: record}); err != nil {
+			log.Printf("ecaagent: shipping rule definition: %v", err)
+		}
+	}
+	met.SetRole(cluster.RolePrimary)
+	hb := cluster.NewHeartbeater(led.SystemClock(), cf.hbInterval, tok, sh.Ship, met)
+	return &primaryReplication{shipper: sh, hb: hb, ship: ship, met: met}
+}
+
+// start begins heartbeating (the first beat dials and re-ships the
+// snapshot, so a standby attached later still converges).
+func (p *primaryReplication) start() {
+	p.hb.Start()
+	go p.watchLag()
+}
+
+// watchLag logs transitions of the replication link so operators see a
+// detached standby without scraping metrics.
+func (p *primaryReplication) watchLag() {
+	healthy := true
+	for range time.Tick(5 * time.Second) {
+		err := p.ship.Err()
+		if err != nil && healthy {
+			log.Printf("ecaagent: replication degraded (local durability unaffected): %v", err)
+			healthy = false
+		} else if err == nil && !healthy {
+			log.Printf("ecaagent: replication recovered")
+			healthy = true
+		}
+	}
+}
+
+func (p *primaryReplication) stop() {
+	p.hb.Stop()
+	p.shipper.Close()
+}

@@ -12,6 +12,14 @@
 //	         [-attempt-timeout 30s] [-resync 30s] [-drain 15s] [-dlq 128]
 //	         [-checkpoint-dir dir] [-checkpoint-interval 30s] [-wal-sync always]
 //	         [-site name -ged host:port]
+//	         [-cluster-node name -repl-ship host:port | -repl-listen host:port]
+//	         [-heartbeat-interval 500ms] [-heartbeat-misses 3]
+//
+// The -repl-ship / -repl-listen pair forms a replicated hot pair: the
+// primary streams its durable state (checkpoints, WAL, rule definitions,
+// heartbeats) to the standby, which promotes itself — boots the agent over
+// the replicated directory — when the heartbeats stop. See cluster.go and
+// DESIGN.md §10.
 //
 // The -http address serves the observability surface: /metrics (Prometheus
 // text format), /healthz, /stats (JSON), /eventgraph (Graphviz dot), and
@@ -38,8 +46,10 @@ import (
 	"time"
 
 	"github.com/activedb/ecaagent/internal/agent"
+	"github.com/activedb/ecaagent/internal/cluster"
 	"github.com/activedb/ecaagent/internal/ged"
 	"github.com/activedb/ecaagent/internal/led"
+	"github.com/activedb/ecaagent/internal/obs"
 )
 
 func main() {
@@ -60,7 +70,10 @@ func main() {
 	site := flag.String("site", "", "site name for global event forwarding")
 	gedAddr := flag.String("ged", "", "address of a global event detector to forward to")
 	httpAddr := flag.String("http", "", "admin HTTP address for /metrics, /stats, /eventgraph, /debug/pprof (empty disables)")
+	var cf clusterFlags
+	registerClusterFlags(&cf)
 	flag.Parse()
+	cf.validate(*ckptDir)
 
 	cfg := agent.Config{
 		Dial:       agent.TCPDialer(*serverAddr),
@@ -91,6 +104,29 @@ func main() {
 			WALSync:            *walSync,
 		}
 	}
+
+	// Cluster mode. A standby blocks here applying the primary's stream
+	// until promotion (or a signal); a primary tees its durability layer
+	// through the replication shipper. Both register the eca_cluster_*
+	// instruments on the same registry the agent's /metrics serves.
+	var cmet *cluster.Metrics
+	var repl *primaryReplication
+	if cf.active() {
+		reg := obs.NewRegistry()
+		cfg.Metrics = reg
+		cmet = cluster.NewMetrics(reg)
+		var floorEpoch uint64
+		if cf.listen != "" {
+			floorEpoch = runStandbyPhase(&cf, *ckptDir, *httpAddr, reg, cmet)
+		}
+		if cf.ship != "" {
+			repl = wirePrimaryReplication(&cf, &cfg, *ckptDir, floorEpoch, cmet)
+			defer repl.stop()
+		} else if cf.listen != "" {
+			// Promoted with no onward standby: serve as a plain primary.
+			cmet.SetRole(cluster.RolePrimary)
+		}
+	}
 	if *gedAddr != "" {
 		if *site == "" {
 			log.Fatal("ecaagent: -ged requires -site")
@@ -111,6 +147,12 @@ func main() {
 		log.Fatalf("ecaagent: %v", err)
 	}
 	defer a.Close()
+	if cmet != nil {
+		a.SetRoleFunc(cmet.Role)
+		if repl != nil {
+			repl.start()
+		}
+	}
 	if err := a.ListenGateway(*listen); err != nil {
 		log.Fatalf("ecaagent: %v", err)
 	}

@@ -24,7 +24,11 @@ type sample struct {
 }
 
 // parsePrometheus parses text-format exposition (the subset the obs
-// package emits: no timestamps, one label at most, no exemplars).
+// package emits: no timestamps, no exemplars). Labeled families it has
+// never heard of must parse too — label *values* may contain spaces,
+// commas and braces, so the value is whatever follows the label block's
+// closing brace, never "the text after the last space" (which a label
+// like role="standby (warm)" would break).
 func parsePrometheus(text string) ([]sample, error) {
 	var out []sample
 	for _, line := range strings.Split(text, "\n") {
@@ -32,22 +36,15 @@ func parsePrometheus(text string) ([]sample, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		sp := strings.LastIndexByte(line, ' ')
-		if sp < 0 {
-			return nil, fmt.Errorf("malformed line %q", line)
-		}
-		key, valStr := line[:sp], line[sp+1:]
-		v, err := strconv.ParseFloat(valStr, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad value in %q: %v", line, err)
-		}
-		s := sample{value: v, labels: map[string]string{}}
-		if open := strings.IndexByte(key, '{'); open >= 0 {
-			if !strings.HasSuffix(key, "}") {
+		s := sample{labels: map[string]string{}}
+		var valStr string
+		if open := strings.IndexByte(line, '{'); open >= 0 {
+			s.name = line[:open]
+			closing := closeBrace(line, open+1)
+			if closing < 0 {
 				return nil, fmt.Errorf("unclosed labels in %q", line)
 			}
-			s.name = key[:open]
-			for _, pair := range splitLabels(key[open+1 : len(key)-1]) {
+			for _, pair := range splitLabels(line[open+1 : closing]) {
 				eq := strings.IndexByte(pair, '=')
 				if eq < 0 {
 					return nil, fmt.Errorf("bad label in %q", line)
@@ -58,12 +55,42 @@ func parsePrometheus(text string) ([]sample, error) {
 				}
 				s.labels[pair[:eq]] = val
 			}
+			valStr = strings.TrimSpace(line[closing+1:])
 		} else {
-			s.name = key
+			sp := strings.LastIndexByte(line, ' ')
+			if sp < 0 {
+				return nil, fmt.Errorf("malformed line %q", line)
+			}
+			s.name, valStr = line[:sp], strings.TrimSpace(line[sp+1:])
 		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		s.value = v
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// closeBrace finds the index of the '}' closing a label block that opened
+// just before start, skipping quoted sections and escapes. Returns -1 when
+// the block never closes.
+func closeBrace(s string, start int) int {
+	quoted := false
+	for i := start; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			quoted = !quoted
+		case '}':
+			if !quoted {
+				return i
+			}
+		}
+	}
+	return -1
 }
 
 // splitLabels splits `a="x",b="y"` on commas outside quotes.

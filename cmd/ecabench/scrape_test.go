@@ -57,10 +57,40 @@ func TestParsePrometheusRejectsGarbage(t *testing.T) {
 		`m{le="0.1" 3`,
 		`m{le=nope} 3`,
 		"m notanumber",
+		`m{a="x"} notanumber`,
 	} {
 		if _, err := parsePrometheus(bad); err == nil {
 			t.Errorf("parsed %q", bad)
 		}
+	}
+}
+
+// TestParsePrometheusUnknownLabeledFamilies: families the scraper has
+// never heard of — including label values containing spaces, commas and a
+// closing brace — must parse instead of poisoning the whole exposition
+// (the eca_cluster_* additions are exactly such families).
+func TestParsePrometheusUnknownLabeledFamilies(t *testing.T) {
+	text := strings.Join([]string{
+		`eca_cluster_role{node="n1",role="standby (warm, promoted}"} 1`,
+		`eca_cluster_repl_lag_bytes{peer="n2"} 4096`,
+		`eca_actions_run_total 40`,
+	}, "\n")
+	samples, err := parsePrometheus(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("parsed %d samples, want 3", len(samples))
+	}
+	role := samples[0]
+	if role.name != "eca_cluster_role" || role.value != 1 {
+		t.Errorf("role sample = %+v", role)
+	}
+	if role.labels["node"] != "n1" || role.labels["role"] != "standby (warm, promoted}" {
+		t.Errorf("role labels = %v", role.labels)
+	}
+	if samples[1].labels["peer"] != "n2" || samples[1].value != 4096 {
+		t.Errorf("lag sample = %+v", samples[1])
 	}
 }
 

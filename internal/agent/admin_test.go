@@ -200,3 +200,55 @@ func TestAdminEndpointsUnderChaos(t *testing.T) {
 		t.Errorf("/debug/pprof/profile: %d", code)
 	}
 }
+
+// TestLivenessReadinessSplit: /livez (and the /healthz alias) report the
+// process alive regardless of role, while /readyz reflects the ingest
+// gate — "ok" standalone, the cluster role once SetRoleFunc installs one,
+// and 503 for any state that must not receive notifications.
+func TestLivenessReadinessSplit(t *testing.T) {
+	r := newChaosRig(t, nil, nil)
+	srv := httptest.NewServer(r.agent.AdminHandler())
+	defer srv.Close()
+
+	for _, path := range []string{"/livez", "/healthz"} {
+		if code, body := adminGet(t, srv.URL, path); code != http.StatusOK || !strings.Contains(body, "ok") {
+			t.Errorf("%s: %d %q", path, code, body)
+		}
+	}
+	if code, body := adminGet(t, srv.URL, "/readyz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/readyz standalone: %d %q", code, body)
+	}
+
+	role := "standby"
+	r.agent.SetRoleFunc(func() string { return role })
+	if code, body := adminGet(t, srv.URL, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "standby") {
+		t.Errorf("/readyz standby: %d %q", code, body)
+	}
+	// Liveness is unaffected by the standby role.
+	if code, _ := adminGet(t, srv.URL, "/livez"); code != http.StatusOK {
+		t.Errorf("/livez standby: %d", code)
+	}
+	role = "primary"
+	if code, body := adminGet(t, srv.URL, "/readyz"); code != http.StatusOK || !strings.Contains(body, "primary") {
+		t.Errorf("/readyz primary: %d %q", code, body)
+	}
+	r.agent.SetRoleFunc(nil)
+	if code, body := adminGet(t, srv.URL, "/readyz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/readyz after reset: %d %q", code, body)
+	}
+}
+
+// TestReadinessRecovering: before New returns the agent gates delivery on
+// the ready channel; Readiness must report ("recovering", false) in that
+// window. Driven directly against a hand-built Agent to avoid racing real
+// startup.
+func TestReadinessRecovering(t *testing.T) {
+	a := &Agent{ready: make(chan struct{})}
+	if state, ready := a.Readiness(); ready || state != "recovering" {
+		t.Fatalf("pre-ready Readiness = %q, %v", state, ready)
+	}
+	close(a.ready)
+	if state, ready := a.Readiness(); !ready || state != "ok" {
+		t.Fatalf("post-ready Readiness = %q, %v", state, ready)
+	}
+}

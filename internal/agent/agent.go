@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"runtime"
@@ -50,6 +51,13 @@ type Config struct {
 	// local detection — the hook a Global Event Detector site uses
 	// (internal/ged) for the paper's distributed future-work extension.
 	Forward func(p led.Primitive)
+	// DefinitionSink, when set, receives one serialized record (JSON) for
+	// every successful rule-definition change — trigger creation or drop —
+	// in definition order. Cluster mode ships these to the other members
+	// as the log-shipped rulebase feed. Called with the definition lock
+	// held, so implementations must not re-enter the agent and should
+	// return quickly; definitions are DDL-rate, not data-rate.
+	DefinitionSink func(record []byte)
 	// Logf receives diagnostics; defaults to log.Printf.
 	Logf func(format string, args ...any)
 	// Retry tunes the resilient decorator wrapped around the agent's own
@@ -158,6 +166,9 @@ type Agent struct {
 	// replayed the journal, gating the delivery surface until then.
 	dur   *durableState
 	ready chan struct{}
+	// roleFn, when set, names this node's cluster role ("primary",
+	// "standby", ...) for the readiness probe; nil means standalone.
+	roleFn atomic.Pointer[func() string]
 
 	// stopCh stops background goroutines; bgWG tracks them.
 	stopCh   chan struct{}
@@ -347,6 +358,45 @@ func (a *Agent) drain(timeout time.Duration) bool {
 	}
 }
 
+// Ready reports whether startup recovery has completed — watermarks
+// seeded and, under durability, the journal replayed — so the delivery
+// surface accepts notifications without blocking on it.
+func (a *Agent) Ready() bool {
+	select {
+	case <-a.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// SetRoleFunc installs the cluster role provider the readiness probe
+// consults (cluster nodes report "primary" / "standby"; nil reverts to
+// standalone). The function must be safe for concurrent calls.
+func (a *Agent) SetRoleFunc(fn func() string) {
+	if fn == nil {
+		a.roleFn.Store(nil)
+		return
+	}
+	a.roleFn.Store(&fn)
+}
+
+// Readiness resolves the state string and verdict the /readyz probe
+// serves: ("recovering", false) until startup recovery finishes, then the
+// cluster role — ready only when this node is the one that should be
+// ingesting ("primary", or "ok" standalone). A standby is alive but not
+// ready: routers must hold its traffic until promotion flips the role.
+func (a *Agent) Readiness() (state string, ready bool) {
+	if !a.Ready() {
+		return "recovering", false
+	}
+	if fn := a.roleFn.Load(); fn != nil {
+		role := (*fn)()
+		return role, role == "primary"
+	}
+	return "ok", true
+}
+
 // DeadLetters returns a snapshot of the dead-letter queue: rule actions
 // that failed terminally (or exhausted their retries), oldest first, up to
 // Config.DeadLetterLimit entries.
@@ -469,7 +519,51 @@ func (a *Agent) CreateTrigger(db, user string, def *TriggerDef) (messages []stri
 	default: // Figure 10: trigger on an existing event
 		messages, err = a.createOnExisting(db, user, trigName, eventName, def)
 	}
+	if err == nil {
+		a.emitDefinitionLocked("create", db, user, trigName, def)
+	}
 	return messages, err
+}
+
+// definitionRecord is the wire form of one rule-definition change for
+// Config.DefinitionSink — enough to audit or re-derive the rulebase on
+// another member.
+type definitionRecord struct {
+	Op       string `json:"op"` // "create" or "drop"
+	DB       string `json:"db"`
+	User     string `json:"user"`
+	Trigger  string `json:"trigger"`
+	Event    string `json:"event,omitempty"`
+	Table    string `json:"table,omitempty"`
+	TableOp  string `json:"tableOp,omitempty"`
+	Expr     string `json:"expr,omitempty"`
+	Context  string `json:"context,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Action   string `json:"action,omitempty"`
+}
+
+// emitDefinitionLocked serializes one definition change to the sink.
+// Caller holds a.mu (which is what keeps the records in definition order).
+func (a *Agent) emitDefinitionLocked(op, db, user, trigName string, def *TriggerDef) {
+	if a.cfg.DefinitionSink == nil {
+		return
+	}
+	rec := definitionRecord{Op: op, DB: db, User: user, Trigger: trigName}
+	if def != nil {
+		rec.Event = def.EventName
+		rec.Table = strings.Join(def.TableName, ".")
+		rec.TableOp = string(def.Operation)
+		rec.Expr = def.EventExpr
+		rec.Context = def.Context.String()
+		rec.Priority = def.Priority
+		rec.Action = def.ActionSQL
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		a.cfg.Logf("agent: serializing definition record for %s: %v", trigName, err)
+		return
+	}
+	a.cfg.DefinitionSink(b)
 }
 
 // createPrimitive implements Example 1 (§5.2). Caller holds a.mu.
@@ -748,6 +842,7 @@ func (a *Agent) DropTrigger(db, user string, parts []string) ([]string, error) {
 		return nil, err
 	}
 	delete(a.triggers, internal)
+	a.emitDefinitionLocked("drop", db, user, internal, nil)
 	return []string{fmt.Sprintf("trigger %s dropped", internal)}, nil
 }
 

@@ -230,3 +230,11 @@ func parseNotification(msg string) (event, table, op string, vno int, err error)
 	}
 	return parts[1], parts[2], parts[3], n, nil
 }
+
+// NotificationEvent extracts the internal event name from one notification
+// line without delivering it — the peek a cluster router needs to decide
+// which node owns the event before forwarding the datagram verbatim.
+func NotificationEvent(msg string) (string, error) {
+	event, _, _, _, err := parseNotification(msg)
+	return event, err
+}

@@ -239,13 +239,20 @@ func (d *durableState) waitSynced(seq uint64) {
 
 // appendOcc journals one accepted occurrence, honoring the sync policy,
 // before the caller signals it into the LED. Called with a.rec.mu held,
-// which serializes occurrence records in delivery order.
+// which serializes occurrence records in delivery order. The lock is
+// released by defer because the append can unwind with a simulated-crash
+// panic (the cluster tee's repl.* crash points fire inside the write
+// path) and a dead incarnation must not leave d.mu held against its own
+// still-draining action goroutines.
 func (d *durableState) appendOcc(p led.Primitive) {
-	d.mu.Lock()
-	seq := d.appendLocked(walRecord{
-		kind: walOccKind, event: p.Event, table: p.Table, op: p.Op, vno: p.VNo, at: p.At,
-	})
-	d.mu.Unlock()
+	var seq uint64
+	func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		seq = d.appendLocked(walRecord{
+			kind: walOccKind, event: p.Event, table: p.Table, op: p.Op, vno: p.VNo, at: p.At,
+		})
+	}()
 	if d.syncMode == WALSyncGroup {
 		d.waitSynced(seq)
 	}

@@ -29,6 +29,7 @@ var DeterministicPackages = []string{
 	"github.com/activedb/ecaagent/internal/led",
 	"github.com/activedb/ecaagent/internal/snoop",
 	"github.com/activedb/ecaagent/internal/agent",
+	"github.com/activedb/ecaagent/internal/cluster",
 }
 
 // forbidden are the time-package functions that read or schedule against

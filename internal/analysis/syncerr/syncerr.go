@@ -31,6 +31,7 @@ import (
 var DurablePackages = []string{
 	"github.com/activedb/ecaagent/internal/agent",
 	"github.com/activedb/ecaagent/internal/storage",
+	"github.com/activedb/ecaagent/internal/cluster",
 }
 
 // Analyzer is the syncerr pass.

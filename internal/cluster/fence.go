@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/activedb/ecaagent/internal/agent"
+	"github.com/activedb/ecaagent/internal/sqltypes"
+)
+
+// ErrFenced reports a stale fencing token: the node holding it was
+// superseded by a promotion and must not commit effects. The agent's
+// retry layer classifies it as terminal (it is not a connection failure),
+// so a fenced action is dead-lettered exactly once instead of retried
+// forever.
+var ErrFenced = errors.New("cluster: fenced: this node's epoch was superseded by a promotion")
+
+// Authority is the cluster's single source of truth for the fencing
+// epoch — in the paper's deployment an epoch row in the shared SQL server
+// every agent already talks to, in tests an in-process registry. Acquire
+// is called once per promotion (and at primary startup); Validate is
+// called on every guarded upstream execution, so implementations must be
+// cheap and safe for concurrent use.
+type Authority interface {
+	// Acquire grants the caller a fresh epoch, strictly greater than any
+	// granted before, recording it as the current holder.
+	Acquire(node string) (uint64, error)
+	// Validate returns nil when epoch is still the current one, ErrFenced
+	// when a later epoch has been granted.
+	Validate(epoch uint64) error
+	// Current reports the holder and epoch of the latest grant.
+	Current() (node string, epoch uint64)
+}
+
+// EpochRegistry is the in-process Authority used by tests and
+// single-binary deployments.
+type EpochRegistry struct {
+	mu     sync.Mutex
+	holder string // guarded by mu
+	epoch  uint64 // guarded by mu
+}
+
+// NewEpochRegistry returns a registry with no grants (epoch 0).
+func NewEpochRegistry() *EpochRegistry { return &EpochRegistry{} }
+
+func (r *EpochRegistry) Acquire(node string) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epoch++
+	r.holder = node
+	return r.epoch, nil
+}
+
+func (r *EpochRegistry) Validate(epoch uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch != r.epoch {
+		return fmt.Errorf("%w (held %d, current %d)", ErrFenced, epoch, r.epoch)
+	}
+	return nil
+}
+
+func (r *EpochRegistry) Current() (string, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.holder, r.epoch
+}
+
+// Token carries one node's granted epoch. It is shared between the
+// promotion path (which stores) and every fenced connection (which
+// loads), hence atomic.
+type Token struct{ v atomic.Uint64 }
+
+// Set records a freshly acquired epoch.
+func (t *Token) Set(epoch uint64) { t.v.Store(epoch) }
+
+// Epoch reads the node's current epoch.
+func (t *Token) Epoch() uint64 { return t.v.Load() }
+
+// FencedDialer wraps an upstream dialer so every Exec first validates the
+// node's fencing token against the authority. A zombie ex-primary — one
+// that was partitioned away, missed the promotion, and reconnects still
+// believing it leads — fails ErrFenced on its first attempted effect:
+// the action is dead-lettered and counted, never double-fired. met may
+// be nil.
+func FencedDialer(inner agent.UpstreamDialer, auth Authority, tok *Token, met *Metrics) agent.UpstreamDialer {
+	return func(user, db string) (agent.Upstream, error) {
+		up, err := inner(user, db)
+		if err != nil {
+			return nil, err
+		}
+		return &fencedUpstream{up: up, auth: auth, tok: tok, met: met}, nil
+	}
+}
+
+type fencedUpstream struct {
+	up   agent.Upstream
+	auth Authority
+	tok  *Token
+	met  *Metrics
+}
+
+func (f *fencedUpstream) Exec(sql string) ([]*sqltypes.ResultSet, error) {
+	if err := f.auth.Validate(f.tok.Epoch()); err != nil {
+		if f.met != nil {
+			f.met.FencedRejections.Inc()
+		}
+		return nil, err
+	}
+	return f.up.Exec(sql)
+}
+
+func (f *fencedUpstream) Close() error { return f.up.Close() }

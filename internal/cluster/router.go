@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/agent"
+	"github.com/activedb/ecaagent/internal/led"
+)
+
+// The router is the cluster's front door for trigger notifications.
+// Generated triggers keep firing plain UDP datagrams at one well-known
+// address; the router peeks the event name out of each line and forwards
+// it to the node that owns that event.
+//
+// Ownership has two layers. The authoritative one is component affinity:
+// every event reachable from the same composite event graph must land on
+// one node, or a seq/and detector would see only half its constituents.
+// Nodes broadcast their component assignments as FrameRoute frames and
+// routers fold them into an affinity table. Underneath sits a consistent
+// hash ring — the fallback for events no broadcast has claimed yet, and
+// the reason adding a node moves only ~1/N of the unclaimed keys.
+
+// Forwarder delivers one notification datagram to a member node.
+type Forwarder func(datagram string) error
+
+// DeadLetter is one notification the router gave up on. Dead letters are
+// retained and enumerable — degradation is bounded buffering, then
+// backpressure, then this queue; never silent loss.
+type DeadLetter struct {
+	Node     string // destination at the time of failure ("" when unroutable)
+	Datagram string
+	Reason   string
+}
+
+// RouterConfig tunes forwarding behavior.
+type RouterConfig struct {
+	// Clock paces retry backoff (required; ManualClock in tests).
+	Clock led.Clock
+	// Attempts per datagram before parking (default 3).
+	Attempts int
+	// Backoff after a failed attempt, doubling per retry (default 25ms).
+	Backoff time.Duration
+	// ParkLimit bounds the per-node parked queue; beyond it datagrams
+	// dead-letter and Route reports backpressure (default 1024).
+	ParkLimit int
+	// DLQLimit bounds retained dead letters; beyond it the oldest are
+	// dropped but the counter keeps the truth (default 4096).
+	DLQLimit int
+	// Replicas is the virtual-node count per member on the hash ring
+	// (default 64).
+	Replicas int
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 25 * time.Millisecond
+	}
+	if c.ParkLimit <= 0 {
+		c.ParkLimit = 1024
+	}
+	if c.DLQLimit <= 0 {
+		c.DLQLimit = 4096
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	return c
+}
+
+// ringSlot is one virtual node on the consistent hash ring.
+type ringSlot struct {
+	hash uint64
+	node string
+}
+
+// Router forwards notification datagrams to owning nodes.
+type Router struct {
+	cfg RouterConfig
+	met *Metrics
+
+	mu       sync.Mutex
+	members  map[string]Forwarder // guarded by mu
+	ring     []ringSlot           // sorted by hash; guarded by mu
+	affinity map[string]string    // event → owning node; guarded by mu
+	parked   map[string][]string  // node → datagrams awaiting Redeliver; guarded by mu
+	dlq      []DeadLetter         // guarded by mu
+}
+
+// NewRouter returns a router with no members. met may be nil.
+func NewRouter(cfg RouterConfig, met *Metrics) *Router {
+	return &Router{
+		cfg:      cfg.withDefaults(),
+		met:      met,
+		members:  make(map[string]Forwarder),
+		affinity: make(map[string]string),
+		parked:   make(map[string][]string),
+	}
+}
+
+// SetMember adds node or replaces its forwarder (a promotion repoints the
+// old primary's name at the survivor without disturbing the affinity
+// table). A nil forwarder removes the node from the ring; its parked
+// datagrams stay parked until Redeliver or RemoveMember.
+func (r *Router) SetMember(node string, fwd Forwarder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fwd == nil {
+		delete(r.members, node)
+	} else {
+		r.members[node] = fwd
+	}
+	r.rebuildRingLocked()
+}
+
+// RemoveMember drops node entirely; its parked datagrams are re-routed by
+// ring/affinity on the next Route of each (here they dead-letter if no
+// member remains — counted, never dropped silently).
+func (r *Router) RemoveMember(node string) {
+	r.mu.Lock()
+	waiting := r.parked[node]
+	delete(r.parked, node)
+	delete(r.members, node)
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+	for _, d := range waiting {
+		r.Route(d)
+	}
+}
+
+// rebuildRingLocked recomputes the virtual-node ring. Caller holds r.mu.
+func (r *Router) rebuildRingLocked() {
+	r.ring = r.ring[:0]
+	for node := range r.members {
+		for i := 0; i < r.cfg.Replicas; i++ {
+			r.ring = append(r.ring, ringSlot{hash: hash64(fmt.Sprintf("%s#%d", node, i)), node: node})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool {
+		if r.ring[i].hash != r.ring[j].hash {
+			return r.ring[i].hash < r.ring[j].hash
+		}
+		return r.ring[i].node < r.ring[j].node
+	})
+}
+
+// ApplyRoute folds one ownership broadcast into the affinity table (wire
+// the Applier's OnRoute here). Later broadcasts win: a promotion's
+// re-broadcast moves whole components in one frame.
+func (r *Router) ApplyRoute(node string, events []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ev := range events {
+		r.affinity[ev] = node
+	}
+}
+
+// OwnershipFrame renders the broadcast a node emits to claim its events.
+func OwnershipFrame(node string, events []string) Frame {
+	return Frame{Kind: FrameRoute, Name: node, Payload: encodeRoute(events)}
+}
+
+// Owner reports which node a single event routes to: affinity override
+// first, hash ring otherwise. ok is false when the router knows no one.
+func (r *Router) Owner(event string) (node string, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ownerLocked(event)
+}
+
+func (r *Router) ownerLocked(event string) (string, bool) {
+	if node, ok := r.affinity[event]; ok {
+		if _, alive := r.members[node]; alive {
+			return node, true
+		}
+		// The claimed owner left the membership; fall through to the
+		// ring so the event keeps flowing instead of dead-lettering
+		// until the successor re-broadcasts.
+	}
+	if len(r.ring) == 0 {
+		return "", false
+	}
+	h := hash64(event)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].node, true
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Route forwards one datagram, which may carry several newline-separated
+// notifications: lines are grouped by owning node and each group is
+// forwarded as one batch, preserving the arrival-order batching the
+// agent's ingest pipeline relies on. The returned error is the
+// backpressure signal — the datagram (or part of it) could not be
+// delivered or parked; it is on the DLQ, not lost.
+func (r *Router) Route(datagram string) error {
+	groups, order, bad := r.split(datagram)
+	for _, line := range bad {
+		if r.met != nil {
+			r.met.RouteBad.Inc()
+		}
+		r.deadLetter(DeadLetter{Datagram: line, Reason: "unparseable notification"})
+	}
+	var firstErr error
+	for _, node := range order {
+		if err := r.forward(node, strings.Join(groups[node], "\n")); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil && len(bad) > 0 {
+		firstErr = fmt.Errorf("cluster: %d unroutable notification line(s) dead-lettered", len(bad))
+	}
+	return firstErr
+}
+
+// split groups a datagram's lines by owning node, keeping first-seen node
+// order. Lines with no parseable event or no owner land in bad.
+func (r *Router) split(datagram string) (groups map[string][]string, order []string, bad []string) {
+	groups = make(map[string][]string)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, line := range strings.Split(datagram, "\n") {
+		if line == "" {
+			continue
+		}
+		event, err := agent.NotificationEvent(line)
+		if err != nil {
+			bad = append(bad, line)
+			continue
+		}
+		node, ok := r.ownerLocked(event)
+		if !ok {
+			bad = append(bad, line)
+			continue
+		}
+		if _, seen := groups[node]; !seen {
+			order = append(order, node)
+		}
+		groups[node] = append(groups[node], line)
+	}
+	return groups, order, bad
+}
+
+// forward attempts delivery to node with retry/backoff, then degrades:
+// park (bounded) → dead-letter + error (backpressure).
+func (r *Router) forward(node, datagram string) error {
+	r.mu.Lock()
+	fwd := r.members[node]
+	r.mu.Unlock()
+	if fwd != nil {
+		backoff := r.cfg.Backoff
+		for attempt := 0; attempt < r.cfg.Attempts; attempt++ {
+			if attempt > 0 {
+				if r.met != nil {
+					r.met.RouteRetries.Inc()
+				}
+				r.sleep(backoff)
+				backoff *= 2
+			}
+			if err := fwd(datagram); err == nil {
+				if r.met != nil {
+					r.met.Routed.With(node).Inc()
+				}
+				return nil
+			}
+		}
+	}
+	r.mu.Lock()
+	if len(r.parked[node]) < r.cfg.ParkLimit {
+		r.parked[node] = append(r.parked[node], datagram)
+		r.mu.Unlock()
+		return nil
+	}
+	r.mu.Unlock()
+	r.deadLetter(DeadLetter{Node: node, Datagram: datagram, Reason: "delivery failed and parked queue full"})
+	return fmt.Errorf("cluster: node %s unreachable and parked queue full (datagram dead-lettered)", node)
+}
+
+// sleep blocks for d on the router's clock seam.
+func (r *Router) sleep(d time.Duration) {
+	ch := make(chan struct{})
+	r.cfg.Clock.AfterFunc(d, func() { close(ch) })
+	<-ch
+}
+
+// Redeliver re-routes everything parked for node — called after a
+// promotion repoints or replaces the member. Each datagram goes back
+// through Route, so affinity re-broadcasts are honored. It reports how
+// many datagrams were re-attempted.
+func (r *Router) Redeliver(node string) int {
+	r.mu.Lock()
+	waiting := r.parked[node]
+	delete(r.parked, node)
+	r.mu.Unlock()
+	for _, d := range waiting {
+		r.Route(d)
+	}
+	return len(waiting)
+}
+
+// Parked reports how many datagrams are waiting for node to come back.
+func (r *Router) Parked(node string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.parked[node])
+}
+
+// deadLetter retains dl (bounded) and counts it.
+func (r *Router) deadLetter(dl DeadLetter) {
+	if r.met != nil {
+		r.met.RouteDLQ.Inc()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dlq = append(r.dlq, dl)
+	if over := len(r.dlq) - r.cfg.DLQLimit; over > 0 {
+		r.dlq = append(r.dlq[:0:0], r.dlq[over:]...)
+	}
+}
+
+// DeadLetters snapshots the retained dead-letter queue.
+func (r *Router) DeadLetters() []DeadLetter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]DeadLetter(nil), r.dlq...)
+}
+
+// UDPForwarder returns a Forwarder that sends each datagram to addr with
+// a per-attempt write deadline — the concrete member transport for
+// routers fronting real agent processes (the agent's notifier listens on
+// UDP already; forwarding reuses the exact wire format triggers emit).
+func UDPForwarder(addr string, timeout time.Duration) Forwarder {
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return func(datagram string) error {
+		conn, err := net.Dial("udp", addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil { //ecavet:allow nowallclock net.Conn deadlines are wall-clock by contract
+			return err
+		}
+		_, err = conn.Write([]byte(datagram))
+		return err
+	}
+}
+
+// ServeUDP binds addr and routes every received datagram until the
+// returned stop function is called. It is the standalone router process's
+// main loop (examples/distributed/cluster runs it).
+func (r *Router) ServeUDP(addr string) (boundAddr string, stop func(), err error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return "", nil, err
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64<<10)
+		for {
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return // listener closed
+			}
+			r.Route(string(buf[:n]))
+		}
+	}()
+	return conn.LocalAddr().String(), func() { conn.Close(); wg.Wait() }, nil
+}

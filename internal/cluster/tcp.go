@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP transport carries replication frames between real processes.
+// The shipper side is a Sink: ShipFS (and the heartbeater) call it with
+// frames, it writes them length-prefixed + CRC-framed, and a reader
+// goroutine drains the standby's acknowledgements — a running count of
+// frames applied durably — into the lag gauges. The standby side accepts
+// connections, applies each frame through an Applier, and acks.
+//
+// Reconnection re-ships a full snapshot: the standby applies frames
+// durably, but the shipper cannot know which in-flight frames survived a
+// broken connection, so it replays state from the ground truth (the
+// primary's own directory) rather than guessing a resume point. Snapshots
+// are small — checkpoints truncate the WAL — and re-applying is
+// idempotent.
+
+// ShipperConfig configures the primary→standby stream.
+type ShipperConfig struct {
+	// Addr is the standby's replication listener address.
+	Addr string
+	// Node names this primary in the Hello frame.
+	Node string
+	// Tok supplies the fencing epoch announced in Hello (may be nil: epoch 0).
+	Tok *Token
+	// Snapshot renders the full replica state for (re)connect re-ship;
+	// wire ShipFS.SnapshotFrames here. May be nil (stream-only, used when
+	// a fresh standby directory is guaranteed).
+	Snapshot func() ([]Frame, error)
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline — the per-attempt
+	// deadline that keeps a hung standby from wedging the primary's
+	// durability path (default 2s).
+	WriteTimeout time.Duration
+}
+
+func (c ShipperConfig) withDefaults() ShipperConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Shipper streams frames to one standby over TCP.
+type Shipper struct {
+	cfg ShipperConfig
+	met *Metrics
+
+	mu      sync.Mutex
+	conn    net.Conn // nil when disconnected; guarded by mu
+	closed  bool     // guarded by mu
+	sent    uint64   // frames written this connection; guarded by mu
+	acked   uint64   // frames acknowledged this connection; guarded by mu
+	pending []int    // payload size of each unacked frame; guarded by mu
+	lagB    int      // total unacked payload bytes; guarded by mu
+}
+
+// NewShipper returns a disconnected shipper; the first Ship dials.
+// met may be nil.
+func NewShipper(cfg ShipperConfig, met *Metrics) *Shipper {
+	return &Shipper{cfg: cfg.withDefaults(), met: met}
+}
+
+// Ship sends one frame, dialing (and snapshot re-shipping) first when
+// disconnected. It is the Sink a ShipFS or Heartbeater writes to. An
+// error leaves the shipper disconnected; the caller's policy (ShipFS
+// counts and continues) decides what that means.
+//
+// When the dial just re-shipped a snapshot, an FS-state frame (open,
+// data, checkpoint, remove) is dropped instead of sent: ShipFS writes
+// locally before shipping, so the snapshot — rendered from the local
+// directory after that write — already contains this frame's effect, and
+// sending it again would append its bytes twice. Non-state frames
+// (heartbeats, rule broadcasts) are not in snapshots and always go out.
+// Concurrent writers racing a reconnect can still duplicate a WAL record
+// in the replica; recovery's replay is idempotent against that.
+func (s *Shipper) Ship(f Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cluster: shipper closed")
+	}
+	if s.conn == nil {
+		snapped, err := s.connectLocked()
+		if err != nil {
+			return err
+		}
+		if snapped && frameInSnapshot(f.Kind) {
+			return nil
+		}
+	}
+	return s.writeLocked(f)
+}
+
+// frameInSnapshot reports whether a frame kind describes FS state that a
+// just-shipped snapshot already covers.
+func frameInSnapshot(k FrameKind) bool {
+	switch k {
+	case FrameCkpt, FrameFileOpen, FrameFileData, FrameRemove:
+		return true
+	}
+	return false
+}
+
+// connectLocked dials, sends Hello, and re-ships the snapshot, reporting
+// whether a snapshot went out. Caller holds s.mu.
+func (s *Shipper) connectLocked() (snapshotSent bool, err error) {
+	conn, err := net.DialTimeout("tcp", s.cfg.Addr, s.cfg.DialTimeout)
+	if err != nil {
+		return false, fmt.Errorf("cluster: dialing standby %s: %w", s.cfg.Addr, err)
+	}
+	s.conn = conn
+	s.sent, s.acked, s.pending, s.lagB = 0, 0, nil, 0
+	go s.drainAcks(conn)
+	var epoch uint64
+	if s.cfg.Tok != nil {
+		epoch = s.cfg.Tok.Epoch()
+	}
+	hello := Frame{Kind: FrameHello, Name: s.cfg.Node, Payload: binary.AppendUvarint(nil, epoch)}
+	if err := s.writeLocked(hello); err != nil {
+		return false, err
+	}
+	if s.cfg.Snapshot == nil {
+		return false, nil
+	}
+	frames, err := s.cfg.Snapshot()
+	if err != nil {
+		s.dropConnLocked()
+		return false, fmt.Errorf("cluster: rendering snapshot: %w", err)
+	}
+	for _, sf := range frames {
+		if err := s.writeLocked(sf); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// writeLocked frames and writes f with the per-attempt deadline, keeping
+// the lag accounting. Caller holds s.mu.
+func (s *Shipper) writeLocked(f Frame) error {
+	// Wall clock, not the Clock seam: net.Conn deadlines are kernel
+	// timers; a ManualClock cannot drive them and determinism is not at
+	// stake for an I/O timeout.
+	deadline := time.Now().Add(s.cfg.WriteTimeout) //ecavet:allow nowallclock net.Conn deadlines are wall-clock by contract
+	if err := s.conn.SetWriteDeadline(deadline); err != nil {
+		s.dropConnLocked()
+		return err
+	}
+	if _, err := s.conn.Write(EncodeFrame(f)); err != nil {
+		s.dropConnLocked()
+		return fmt.Errorf("cluster: shipping frame: %w", err)
+	}
+	s.sent++
+	s.pending = append(s.pending, len(f.Payload))
+	s.lagB += len(f.Payload)
+	s.gaugeLocked()
+	return nil
+}
+
+// drainAcks reads cumulative applied-counts for one connection and
+// retires pending frames. It exits when the connection dies.
+func (s *Shipper) drainAcks(conn net.Conn) {
+	var buf [8]byte
+	r := bufio.NewReader(conn)
+	for {
+		if _, err := readFull(r, buf[:]); err != nil {
+			return
+		}
+		applied := binary.LittleEndian.Uint64(buf[:])
+		s.mu.Lock()
+		if s.conn == conn {
+			for s.acked < applied && len(s.pending) > 0 {
+				s.lagB -= s.pending[0]
+				s.pending = s.pending[1:]
+				s.acked++
+			}
+			s.gaugeLocked()
+		}
+		s.mu.Unlock()
+	}
+}
+
+func readFull(r *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := r.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// gaugeLocked publishes the lag gauges. Caller holds s.mu.
+func (s *Shipper) gaugeLocked() {
+	if s.met == nil {
+		return
+	}
+	s.met.ReplLagRecords.Set(int64(s.sent - s.acked))
+	s.met.ReplLagBytes.Set(int64(s.lagB))
+}
+
+// dropConnLocked abandons the current connection. Caller holds s.mu.
+func (s *Shipper) dropConnLocked() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// Lag reports unacknowledged frames and payload bytes on the current
+// connection.
+func (s *Shipper) Lag() (records uint64, bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent - s.acked, s.lagB
+}
+
+// Close disconnects and refuses further shipping.
+func (s *Shipper) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.dropConnLocked()
+	return nil
+}
+
+// ListenStandby serves the standby's replication endpoint: every accepted
+// connection is a primary's frame stream, applied through ap with a
+// cumulative ack written back after each frame. A decode or apply error
+// drops the connection — the shipper reconnects and re-ships a snapshot,
+// which is the protocol's only resume mechanism — and counts as a
+// replication error on the applier's metrics. stop closes the listener
+// and every live connection.
+func ListenStandby(addr string, ap *Applier) (boundAddr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			mu.Lock()
+			conns[conn] = struct{}{}
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				serveStream(conn, ap)
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+			}()
+		}
+	}()
+	stop = func() {
+		ln.Close()
+		mu.Lock()
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+		wg.Wait()
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// serveStream applies one primary's frame stream until it ends or breaks.
+func serveStream(conn net.Conn, ap *Applier) {
+	defer conn.Close()
+	var applied uint64
+	r := bufio.NewReader(conn)
+	for {
+		f, err := ReadFrame(r)
+		if err != nil {
+			return // EOF, torn tail, or corruption: shipper re-snapshots
+		}
+		if err := ap.Apply(f); err != nil {
+			return
+		}
+		applied++
+		var ack [8]byte
+		binary.LittleEndian.PutUint64(ack[:], applied)
+		if _, err := conn.Write(ack[:]); err != nil {
+			return
+		}
+	}
+}

@@ -155,3 +155,89 @@ func TestPipeInOrderWhenNoFaults(t *testing.T) {
 		t.Fatalf("clean pipe reordered: %v", got)
 	}
 }
+
+func TestPipePartition(t *testing.T) {
+	var got []string
+	p := NewPipe(PipeConfig{}, func(m string) { got = append(got, m) })
+	p.Send("a")
+	p.SetPartitioned(true)
+	p.Send("b")
+	p.Send("c")
+	p.SetPartitioned(false)
+	p.Send("d")
+	if want := []string{"a", "d"}; !sliceEq(got, want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	if p.Cut() != 2 {
+		t.Fatalf("cut = %d, want 2", p.Cut())
+	}
+	// Partitioned messages are gone for good: healing does not replay them.
+	if p.Held() != 0 {
+		t.Fatalf("partition held messages: %d", p.Held())
+	}
+}
+
+func TestPipeLatency(t *testing.T) {
+	var got []string
+	p := NewPipe(PipeConfig{}, func(m string) { got = append(got, m) })
+	p.SetLatency(true)
+	p.Send("a")
+	p.Send("b")
+	p.Send("c")
+	if len(got) != 0 || p.Held() != 3 {
+		t.Fatalf("latency mode delivered early: got=%v held=%d", got, p.Held())
+	}
+	if n := p.ReleaseHeld(1); n != 1 {
+		t.Fatalf("ReleaseHeld(1) = %d", n)
+	}
+	if want := []string{"a"}; !sliceEq(got, want) {
+		t.Fatalf("partial release delivered %v", got)
+	}
+	p.Send("d")
+	p.SetLatency(false) // releases the rest in arrival order
+	p.Send("e")
+	if want := []string{"a", "b", "c", "d", "e"}; !sliceEq(got, want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+}
+
+// TestPipeAsymmetricPair models the zombie-primary topology: the A→B
+// direction is cut while B→A still flows.
+func TestPipeAsymmetricPair(t *testing.T) {
+	var atB, atA []string
+	aToB := NewPipe(PipeConfig{}, func(m string) { atB = append(atB, m) })
+	bToA := NewPipe(PipeConfig{}, func(m string) { atA = append(atA, m) })
+	aToB.SetPartitioned(true)
+	aToB.Send("hb-from-a")
+	bToA.Send("hb-from-b")
+	if len(atB) != 0 {
+		t.Fatalf("partitioned direction delivered: %v", atB)
+	}
+	if want := []string{"hb-from-b"}; !sliceEq(atA, want) {
+		t.Fatalf("healthy direction delivered %v", atA)
+	}
+}
+
+// TestPipeLatencyRespectsPartition: the partition check runs first, so a
+// cut message is never queued for later delivery.
+func TestPipeLatencyRespectsPartition(t *testing.T) {
+	p := NewPipe(PipeConfig{}, func(string) { t.Fatal("delivered") })
+	p.SetLatency(true)
+	p.SetPartitioned(true)
+	p.Send("x")
+	if p.Held() != 0 || p.Cut() != 1 {
+		t.Fatalf("held=%d cut=%d", p.Held(), p.Cut())
+	}
+}
+
+func sliceEq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

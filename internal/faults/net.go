@@ -19,15 +19,32 @@ type PipeConfig struct {
 // never corrupted in flight (the datagram either arrives whole or not at
 // all). Hook its Send in front of Agent.Deliver to make the best-effort
 // seam explicit and testable.
+//
+// Beyond the probabilistic config, a Pipe has two deterministic modes the
+// cluster chaos harness drives directly:
+//
+//   - Partition: while partitioned, every Send is discarded (and counted).
+//     A Pipe carries one direction of a link, so partitioning only the
+//     A→B pipe of an A↔B pair models an *asymmetric* partition — B still
+//     hears A's peer, A hears nothing — the classic zombie-primary
+//     topology.
+//   - Latency: while latency injection is on, surviving messages are held
+//     in arrival order instead of delivered; ReleaseHeld (or switching the
+//     mode off) delivers them. Delay becomes an explicit, reproducible
+//     test step instead of a sleep.
 type Pipe struct {
 	cfg     PipeConfig
 	deliver func(msg string)
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	window  []string
-	dropped int
-	duped   int
+	mu          sync.Mutex
+	rng         *rand.Rand
+	window      []string
+	dropped     int
+	duped       int
+	partitioned bool     // guarded by mu
+	cut         int      // messages discarded by partition; guarded by mu
+	latency     bool     // guarded by mu
+	held        []string // messages delayed by latency mode; guarded by mu
 }
 
 // NewPipe returns a pipe that forwards surviving messages to deliver.
@@ -39,6 +56,14 @@ func NewPipe(cfg PipeConfig, deliver func(msg string)) *Pipe {
 func (p *Pipe) Send(msg string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.partitioned {
+		p.cut++
+		return
+	}
+	if p.latency {
+		p.held = append(p.held, msg)
+		return
+	}
 	if p.rng.Float64() < p.cfg.DropRate {
 		p.dropped++
 		return
@@ -88,4 +113,64 @@ func (p *Pipe) Duplicated() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.duped
+}
+
+// SetPartitioned switches the partition mode. While on, every Send is
+// discarded like a datagram into an unplugged cable — counted by Cut,
+// never delivered late. Healing the partition does not resurrect what it
+// ate; recovery of those messages is the receiver's problem (resync), by
+// design.
+func (p *Pipe) SetPartitioned(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	p.mu.Unlock()
+}
+
+// Cut reports how many messages a partition discarded.
+func (p *Pipe) Cut() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cut
+}
+
+// SetLatency switches latency injection. While on, messages that survive
+// the partition check are queued instead of delivered; switching it off
+// releases the queue in arrival order.
+func (p *Pipe) SetLatency(on bool) {
+	p.mu.Lock()
+	p.latency = on
+	var release []string
+	if !on {
+		release = p.held
+		p.held = nil
+	}
+	p.mu.Unlock()
+	for _, m := range release {
+		p.deliver(m)
+	}
+}
+
+// ReleaseHeld delivers up to n delayed messages (all of them when n < 0)
+// in arrival order, keeping latency mode on — the step-by-step delay the
+// chaos harness uses to interleave late messages with other events.
+// It returns how many were delivered.
+func (p *Pipe) ReleaseHeld(n int) int {
+	p.mu.Lock()
+	if n < 0 || n > len(p.held) {
+		n = len(p.held)
+	}
+	release := p.held[:n]
+	p.held = append([]string(nil), p.held[n:]...)
+	p.mu.Unlock()
+	for _, m := range release {
+		p.deliver(m)
+	}
+	return len(release)
+}
+
+// Held reports how many messages latency injection is currently delaying.
+func (p *Pipe) Held() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.held)
 }
