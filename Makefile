@@ -1,14 +1,15 @@
 GO ?= go
 ECAVET := bin/ecavet
 
-.PHONY: check fmt vet lint build test race differential crash-suite cluster-chaos fuzz bench-json metrics-smoke
+.PHONY: check fmt vet lint build test race differential crash-suite cluster-chaos fuzz bench-json bench-matrix bench-gate metrics-smoke
 
 # The full pre-merge gate: static checks (including the ecavet invariant
 # suite), a clean build, the entire test suite under the race detector, an
 # explicit pass over the sharded-LED differential equivalence suite, the
-# crash-recovery differential matrix, and the cluster failover chaos
-# suite (all under -race).
-check: fmt vet lint build race differential crash-suite cluster-chaos
+# crash-recovery differential matrix, the cluster failover chaos suite
+# (all under -race), and the perf-regression gate against the committed
+# BENCH_PR7.json baseline.
+check: fmt vet lint build race differential crash-suite cluster-chaos bench-gate
 
 # gofmt -l prints nonconforming files; any output fails the gate. The
 # second check is waiver hygiene: every //ecavet:allow needs an analyzer
@@ -79,14 +80,33 @@ cluster-chaos:
 fuzz:
 	$(GO) test -fuzz=FuzzParseNotification -fuzztime=10s ./internal/agent
 	$(GO) test -fuzz=FuzzDecodeBatch -fuzztime=10s ./internal/agent
+	$(GO) test -fuzz=FuzzBinaryDecode -fuzztime=10s ./internal/agent
+	$(GO) test -fuzz=FuzzBinaryCodec -fuzztime=10s ./internal/agent
 	$(GO) test -fuzz=FuzzLoadCheckpoint -fuzztime=10s ./internal/agent
 	$(GO) test -fuzz=FuzzReplayWAL -fuzztime=10s ./internal/agent
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/snoop
 
 # Sharding ablation: concurrent detection throughput, single-lock vs
-# sharded LED, written to BENCH_PR3.json (see EXPERIMENTS.md).
+# sharded LED (see EXPERIMENTS.md). BENCH_OUT parametrizes the output so
+# ad-hoc runs do not clobber the committed BENCH_PR3.json.
+BENCH_OUT ?= BENCH_PR3.json
 bench-json:
-	$(GO) run ./cmd/ecabench -exp parallel -bench-json BENCH_PR3.json
+	$(GO) run ./cmd/ecabench -exp parallel -bench-json $(BENCH_OUT)
+
+# GOMAXPROCS-matrixed ablation + gated micro-benchmarks: regenerates the
+# perf baseline the gate compares against. Run this (on a quiet machine)
+# when a deliberate perf change moves the needle, and commit the result.
+BENCH7_OUT ?= BENCH_PR7.json
+bench-matrix:
+	$(GO) run ./cmd/ecabench -exp matrix -bench-json $(BENCH7_OUT)
+
+# Perf-regression gate: re-measures the gated micro-benchmark set and
+# fails on any allocs/op increase or a host-calibrated ns/op slowdown
+# beyond GATE_THRESHOLD vs the committed baseline (EXPERIMENTS.md §PR7).
+GATE_BASELINE ?= BENCH_PR7.json
+GATE_THRESHOLD ?= 0.10
+bench-gate:
+	$(GO) run ./cmd/ecabench -exp gate -gate-baseline $(GATE_BASELINE) -gate-threshold $(GATE_THRESHOLD)
 
 # Live smoke test of the observability surface: stand up sqlserverd and
 # ecaagent -http, then require a 200 with a non-empty Prometheus

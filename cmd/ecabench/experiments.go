@@ -25,15 +25,20 @@ import (
 var experiments = map[string]struct {
 	title string
 	fn    func(w io.Writer) error
+	// manual experiments need external inputs (a committed baseline) or
+	// re-run other experiments wholesale; `-exp all` skips them.
+	manual bool
 }{
-	"passthrough": {"per-statement latency: direct server vs via ECA agent gateway", expPassthrough},
-	"e2e":         {"end-to-end rule latency: DML to action completion", expEndToEnd},
-	"notify":      {"notification transport: UDP datagram vs in-process delivery", expNotify},
-	"operators":   {"LED detection cost per Snoop operator", expOperators},
-	"contexts":    {"LED detection cost per parameter context", expContexts},
-	"recovery":    {"agent restart time vs persisted rule count", expRecovery},
-	"fanout":      {"k triggers on one event (native limit lifted)", expFanout},
-	"parallel":    {"sharded vs single-lock LED under concurrent independent rule sets", expParallel},
+	"passthrough": {title: "per-statement latency: direct server vs via ECA agent gateway", fn: expPassthrough},
+	"e2e":         {title: "end-to-end rule latency: DML to action completion", fn: expEndToEnd},
+	"notify":      {title: "notification transport: UDP datagram vs in-process delivery", fn: expNotify},
+	"operators":   {title: "LED detection cost per Snoop operator", fn: expOperators},
+	"contexts":    {title: "LED detection cost per parameter context", fn: expContexts},
+	"recovery":    {title: "agent restart time vs persisted rule count", fn: expRecovery},
+	"fanout":      {title: "k triggers on one event (native limit lifted)", fn: expFanout},
+	"parallel":    {title: "sharded vs single-lock LED under concurrent independent rule sets", fn: expParallel},
+	"matrix":      {title: "GOMAXPROCS-matrixed sharding ablation + gated hot-path micro-benchmarks (BENCH_PR7.json)", fn: expMatrix, manual: true},
+	"gate":        {title: "perf-regression gate: fresh gated metrics vs committed BENCH_PR7.json", fn: expGate, manual: true},
 }
 
 func experimentIDs() []string {

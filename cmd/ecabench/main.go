@@ -23,7 +23,11 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every figure")
 	exp := flag.String("exp", "", "experiment to run: "+strings.Join(experimentIDs(), ", ")+", or all")
 	flag.StringVar(&benchJSONPath, "bench-json", "",
-		"write the parallel experiment's results as JSON to this path")
+		"write the parallel/matrix experiment's results as JSON to this path")
+	flag.StringVar(&gateBaselinePath, "gate-baseline", "BENCH_PR7.json",
+		"baseline JSON the gate experiment compares fresh measurements against")
+	flag.Float64Var(&gateThreshold, "gate-threshold", 0.10,
+		"fractional ns/op slowdown the gate experiment tolerates (allocs/op may never rise)")
 	flag.BoolVar(&scrapeEnabled, "metrics", false,
 		"serve the agent's admin endpoint during experiments and print a /metrics scrape after each run")
 	flag.Parse()
@@ -37,6 +41,9 @@ func main() {
 		printFigure(*figure)
 	case *exp == "all":
 		for _, id := range experimentIDs() {
+			if experiments[id].manual {
+				continue // needs a committed baseline or explicit opt-in
+			}
 			runExperiment(id)
 		}
 	case *exp != "":

@@ -202,33 +202,9 @@ const maxNotificationLen = 4096
 // parseNotification decodes a notification datagram. Truncated, oversized
 // and duplicate-field messages are rejected (the caller counts them in
 // NotificationsDropped); the vNo must be a non-empty decimal that fits an
-// int.
+// int. The byte-slice form in notifcodec.go does the work.
 func parseNotification(msg string) (event, table, op string, vno int, err error) {
-	if len(msg) > maxNotificationLen {
-		return "", "", "", 0, fmt.Errorf("agent: oversized notification (%d bytes)", len(msg))
-	}
-	parts := strings.Split(strings.TrimSpace(msg), "|")
-	if len(parts) != 5 || parts[0] != "ECA1" {
-		return "", "", "", 0, fmt.Errorf("agent: malformed notification %q", msg)
-	}
-	if parts[1] == "" || parts[2] == "" || parts[3] == "" {
-		return "", "", "", 0, fmt.Errorf("agent: empty field in notification %q", msg)
-	}
-	if parts[4] == "" {
-		return "", "", "", 0, fmt.Errorf("agent: missing vNo in notification %q", msg)
-	}
-	n := 0
-	for _, r := range parts[4] {
-		if r < '0' || r > '9' {
-			return "", "", "", 0, fmt.Errorf("agent: bad vNo in notification %q", msg)
-		}
-		d := int(r - '0')
-		if n > (int(^uint(0)>>1)-d)/10 {
-			return "", "", "", 0, fmt.Errorf("agent: vNo overflow in notification %q", msg)
-		}
-		n = n*10 + d
-	}
-	return parts[1], parts[2], parts[3], n, nil
+	return parseNotificationBytes([]byte(msg), &wireNames)
 }
 
 // NotificationEvent extracts the internal event name from one notification

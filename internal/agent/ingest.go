@@ -1,8 +1,7 @@
 package agent
 
 import (
-	"hash/fnv"
-	"strings"
+	"bytes"
 	"sync"
 	"sync/atomic"
 
@@ -15,6 +14,43 @@ import (
 // backpressure on the UDP reader instead of growing memory without bound.
 const ingestQueueCap = 256
 
+// primBatch carries one shard's decoded primitives from the delivery
+// goroutine to its ingest worker. Batches are pooled: the worker returns
+// its batch after draining it, so a steady notification load recycles a
+// fixed set of slices instead of allocating one per datagram.
+type primBatch struct {
+	ps []led.Primitive
+}
+
+var primBatchPool = sync.Pool{New: func() any {
+	return &primBatch{ps: make([]led.Primitive, 0, 16)}
+}}
+
+func getPrimBatch() *primBatch { return primBatchPool.Get().(*primBatch) }
+
+// putPrimBatch zeroes the slice before pooling so a recycled batch never
+// pins the previous datagram's primitives.
+func putPrimBatch(pb *primBatch) {
+	for i := range pb.ps {
+		pb.ps[i] = led.Primitive{}
+	}
+	pb.ps = pb.ps[:0]
+	primBatchPool.Put(pb)
+}
+
+// batchScratch is the reusable per-delivery routing state: the shard→batch
+// map and its insertion-ordered key list. Reusing the map (and recycling
+// primBatches through their own pool) keeps the steady-state DeliverBatch
+// path off the allocator; alloc_test.go pins the budget.
+type batchScratch struct {
+	keys    []int
+	batches map[int]*primBatch
+}
+
+var batchScratchPool = sync.Pool{New: func() any {
+	return &batchScratch{batches: make(map[int]*primBatch, 8)}
+}}
+
 // ingestPool drains decoded notification batches into the LED on a bounded
 // set of workers. A batch holds primitives destined for one LED shard, and
 // every shard routes to a fixed worker (shard mod workers), so occurrences
@@ -24,7 +60,7 @@ const ingestQueueCap = 256
 // just keeps the common case gap-free.
 type ingestPool struct {
 	agent  *Agent
-	queues []chan []led.Primitive
+	queues []chan *primBatch
 	depths []atomic.Int64 // per-worker queued batches (gauge)
 	wg     sync.WaitGroup
 	// pending counts submitted-but-unfinished batches, so WaitIngest is a
@@ -41,11 +77,11 @@ type ingestPool struct {
 func newIngestPool(a *Agent, workers int) *ingestPool {
 	p := &ingestPool{
 		agent:  a,
-		queues: make([]chan []led.Primitive, workers),
+		queues: make([]chan *primBatch, workers),
 		depths: make([]atomic.Int64, workers),
 	}
 	for i := range p.queues {
-		p.queues[i] = make(chan []led.Primitive, ingestQueueCap)
+		p.queues[i] = make(chan *primBatch, ingestQueueCap)
 		p.wg.Add(1)
 		go p.work(i)
 	}
@@ -54,27 +90,30 @@ func newIngestPool(a *Agent, workers int) *ingestPool {
 
 func (p *ingestPool) work(i int) {
 	defer p.wg.Done()
-	for batch := range p.queues[i] {
+	for pb := range p.queues[i] {
 		d := p.depths[i].Add(-1)
 		if p.gauges != nil {
 			p.gauges[i].Set(d)
 		}
-		for _, prim := range batch {
+		for _, prim := range pb.ps {
 			p.agent.ingest(prim)
 		}
+		putPrimBatch(pb)
 		p.pending.Done()
 	}
 }
 
 // submit hands one shard's batch to its worker, blocking on backpressure.
-func (p *ingestPool) submit(key int, batch []led.Primitive) {
+// The batch belongs to the worker from here on; it is recycled after
+// draining.
+func (p *ingestPool) submit(key int, pb *primBatch) {
 	w := key % len(p.queues)
 	p.pending.Add(1)
 	d := p.depths[w].Add(1)
 	if p.gauges != nil {
 		p.gauges[w].Set(d)
 	}
-	p.queues[w] <- batch
+	p.queues[w] <- pb
 }
 
 // close stops the workers after draining every queued batch. No submit may
@@ -92,72 +131,144 @@ func (p *ingestPool) close() {
 func (p *ingestPool) depth(i int) int64 { return p.depths[i].Load() }
 
 // routeKey picks the ingest routing key for an event: its LED shard when
-// the event is known, else a stable hash so unknown events still spread
-// across workers and keep per-event FIFO order.
+// the event is known, else a stable FNV-1a hash (inlined — hash.Hash32
+// would allocate on this path) so unknown events still spread across
+// workers and keep per-event FIFO order.
 func (a *Agent) routeKey(event string) int {
 	if sid := a.led.ShardID(event); sid >= 0 {
 		return sid
 	}
-	h := fnv.New32a()
-	h.Write([]byte(event))
-	return int(h.Sum32() & 0x7fffffff)
+	h := uint32(2166136261)
+	for i := 0; i < len(event); i++ {
+		h ^= uint32(event[i])
+		h *= 16777619
+	}
+	return int(h & 0x7fffffff)
 }
 
-// DeliverBatch ingests one datagram that may carry several notifications
-// separated by newlines — the batched wire format the generated triggers
-// use to amortize syscalls under bursts. Lines are decoded, grouped by the
-// LED shard of their event, and handed to the ingest worker pool so
-// independent shards are signalled concurrently; with the pool disabled
-// (Config.IngestWorkers < 0) every line is delivered synchronously, in
-// order, exactly like repeated Deliver calls.
-func (a *Agent) DeliverBatch(datagram string) {
+// DeliverBatchBytes ingests one datagram that may carry several
+// notifications — either the newline-batched text form the generated
+// triggers emit or one ECB1 binary frame (notifcodec.go), sniffed by
+// magic. Notifications are decoded, grouped by the LED shard of their
+// event, and handed to the ingest worker pool so independent shards are
+// signalled concurrently; with the pool disabled (Config.IngestWorkers <
+// 0) every notification is ingested synchronously, in wire order, exactly
+// like repeated Deliver calls.
+//
+// The caller keeps ownership of data — nothing in the decode retains it
+// (names are interned, occurrences copied) — which is what lets the
+// notifier hand its one receive buffer straight in.
+func (a *Agent) DeliverBatchBytes(data []byte) {
 	a.waitReady()
+	binary := IsBinaryBatch(data)
+	if binary {
+		a.met.binaryBatches.Inc()
+	}
 	if a.ingestPool == nil {
-		for _, line := range strings.Split(datagram, "\n") {
-			if line != "" {
-				a.Deliver(line)
+		var good, bad int
+		if binary {
+			n, err := decodeBinaryBatch(data, &wireNames, a.ingest)
+			good = n
+			if err != nil {
+				bad = 1
+				a.cfg.Logf("agent: dropping binary batch: %v", err)
 			}
+		} else {
+			good, bad = decodeText(data, a.ingest, func(err error) {
+				a.cfg.Logf("agent: dropping notification: %v", err)
+			})
 		}
+		a.ctr.notifReceived.Add(uint64(good + bad))
+		a.ctr.notifDropped.Add(uint64(bad))
 		return
 	}
-	prims, badLines := decodeBatch(datagram)
-	a.ctr.notifReceived.Add(uint64(len(prims) + len(badLines)))
-	a.ctr.notifDropped.Add(uint64(len(badLines)))
-	for _, err := range badLines {
-		a.cfg.Logf("agent: dropping notification: %v", err)
-	}
-	var (
-		keys    []int
-		batches = make(map[int][]led.Primitive)
-	)
-	for _, p := range prims {
+
+	scr := batchScratchPool.Get().(*batchScratch)
+	emit := func(p led.Primitive) {
 		key := a.routeKey(p.Event)
-		if _, ok := batches[key]; !ok {
-			keys = append(keys, key)
+		pb, ok := scr.batches[key]
+		if !ok {
+			pb = getPrimBatch()
+			scr.batches[key] = pb
+			scr.keys = append(scr.keys, key)
 		}
-		batches[key] = append(batches[key], p)
+		pb.ps = append(pb.ps, p)
 	}
-	for _, key := range keys {
-		a.ingestPool.submit(key, batches[key])
+	var good, bad int
+	if binary {
+		n, err := decodeBinaryBatch(data, &wireNames, emit)
+		good = n
+		if err != nil {
+			// The frame fails as a unit (decode validates before the first
+			// emit), so one dropped datagram, nothing routed.
+			bad = 1
+			a.cfg.Logf("agent: dropping binary batch: %v", err)
+		}
+	} else {
+		good, bad = decodeText(data, emit, func(err error) {
+			a.cfg.Logf("agent: dropping notification: %v", err)
+		})
 	}
+	a.ctr.notifReceived.Add(uint64(good + bad))
+	a.ctr.notifDropped.Add(uint64(bad))
+	for _, key := range scr.keys {
+		a.ingestPool.submit(key, scr.batches[key])
+		delete(scr.batches, key)
+	}
+	scr.keys = scr.keys[:0]
+	batchScratchPool.Put(scr)
 }
 
-// decodeBatch splits a batched datagram into its notification lines and
-// parses each, returning the decoded primitives in wire order plus one
-// error per malformed line. Blank lines (a trailing newline) are neither
-// primitives nor errors.
-func decodeBatch(datagram string) (prims []led.Primitive, badLines []error) {
-	for _, line := range strings.Split(datagram, "\n") {
-		if line == "" {
+// DeliverBatch is the string-typed convenience form of DeliverBatchBytes.
+func (a *Agent) DeliverBatch(datagram string) {
+	a.DeliverBatchBytes([]byte(datagram))
+}
+
+// DecodeBatchBytes decodes a newline-batched text datagram through the
+// process-wide name table, calling emit per decoded notification and
+// onErr per malformed line; it returns the good and bad line counts. The
+// exported, allocation-free counterpart of DeliverBatch for routers and
+// benchmarks that decode without delivering.
+func DecodeBatchBytes(data []byte, emit func(led.Primitive), onErr func(error)) (good, bad int) {
+	return decodeText(data, emit, onErr)
+}
+
+// decodeText walks a newline-batched text datagram, calling emit for every
+// decoded notification (in wire order) and onErr for every malformed line.
+// Blank lines (a trailing newline) are neither. It returns the good and
+// bad line counts. With interned names and a non-capturing emit the walk
+// performs no allocations; TestAllocsDecodeTextClean pins that.
+func decodeText(data []byte, emit func(led.Primitive), onErr func(error)) (good, bad int) {
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		if len(line) == 0 {
 			continue
 		}
-		event, table, op, vno, err := parseNotification(line)
+		event, table, op, vno, err := parseNotificationBytes(line, &wireNames)
 		if err != nil {
-			badLines = append(badLines, err)
+			bad++
+			onErr(err)
 			continue
 		}
-		prims = append(prims, led.Primitive{Event: event, Table: table, Op: op, VNo: vno})
+		good++
+		emit(led.Primitive{Event: event, Table: table, Op: op, VNo: vno})
 	}
+	return good, bad
+}
+
+// decodeBatch splits a batched text datagram into its notification lines
+// and parses each, returning the decoded primitives in wire order plus one
+// error per malformed line (the allocating convenience form of
+// decodeText).
+func decodeBatch(datagram []byte) (prims []led.Primitive, badLines []error) {
+	decodeText(datagram,
+		func(p led.Primitive) { prims = append(prims, p) },
+		func(err error) { badLines = append(badLines, err) })
 	return prims, badLines
 }
 

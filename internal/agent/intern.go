@@ -1,0 +1,66 @@
+package agent
+
+import "sync"
+
+// interner deduplicates the small, recurring string universe of the
+// notification wire — event names, table names, operations — so decoding a
+// datagram into led.Primitive values allocates nothing once a name has
+// been seen. The fast path is a read-locked map probe with a []byte key
+// (the compiler elides the string conversion in `m[string(b)]`), so a
+// warmed decode touches no allocator at all.
+//
+// The table is bounded: notification datagrams arrive from the network,
+// and an attacker (or a buggy trigger) spraying unique names must not grow
+// agent memory without limit. Beyond maxEntries the interner stops
+// admitting new names and falls back to a plain per-call copy — correct,
+// just no longer allocation-free for the unseen tail.
+type interner struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// maxInternEntries caps the table. The realistic universe is tiny (every
+// defined event and table plus the five operation words); 4096 leaves two
+// orders of magnitude of headroom before the cap can matter.
+const maxInternEntries = 4096
+
+// intern returns the canonical string for b, copying it into the table on
+// first sight (while capacity remains).
+func (in *interner) intern(b []byte) string {
+	in.mu.RLock()
+	s, ok := in.m[string(b)]
+	in.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	in.mu.Lock()
+	if in.m == nil {
+		in.m = make(map[string]string, 64)
+	}
+	// Re-check under the write lock: a racing intern of the same name must
+	// return the same canonical copy, not insert a second one.
+	if prev, ok := in.m[s]; ok {
+		in.mu.Unlock()
+		return prev
+	}
+	if len(in.m) < maxInternEntries {
+		in.m[s] = s
+	}
+	in.mu.Unlock()
+	return s
+}
+
+// size reports the number of interned names (tests and /stats).
+func (in *interner) size() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.m)
+}
+
+// wireNames is the process-wide name table every notification decode path
+// resolves through. Sharing one table across agents is safe (canonical
+// strings are immutable) and keeps the bound global: a hostile name spray
+// costs the process at most maxInternEntries copies, however many agents
+// it reaches.
+var wireNames interner

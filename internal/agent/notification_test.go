@@ -98,7 +98,7 @@ func FuzzDecodeBatch(f *testing.F) {
 	f.Add("ECA1|e|t|insert|99999999999999999999999\nECA1|e|t|insert|1")
 	f.Add(strings.Repeat("ECA1|e|t|insert|1\n", 50))
 	f.Fuzz(func(t *testing.T, datagram string) {
-		prims, bad := decodeBatch(datagram)
+		prims, bad := decodeBatch([]byte(datagram))
 		lines := 0
 		for _, line := range strings.Split(datagram, "\n") {
 			if line != "" {

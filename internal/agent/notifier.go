@@ -42,8 +42,9 @@ func (n *notifier) listen() {
 		}
 		n.agent.met.notifierDatagrams.Inc()
 		n.agent.met.notifierBytes.Add(uint64(sz))
-		msg := string(buf[:sz])
-		n.agent.DeliverBatch(msg)
+		// The buffer is handed in directly and reused for the next read:
+		// DeliverBatchBytes documents that it does not retain the datagram.
+		n.agent.DeliverBatchBytes(buf[:sz])
 	}
 }
 

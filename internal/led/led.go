@@ -159,21 +159,34 @@ func (o *Occ) clone() *Occ {
 
 // mergeOccs combines constituent occurrences into a new composite
 // occurrence. The occurrence time is the latest constituent time
-// (terminator semantics).
+// (terminator semantics). The constituent slice is sized exactly and
+// insertion-sorted in place (stable, like the sort.SliceStable it
+// replaces) — composite constituent lists are short, and the closure-free
+// sort keeps the detect path's allocation count flat.
 func mergeOccs(event string, ctx Context, parts ...*Occ) *Occ {
 	out := &Occ{Event: event, Context: ctx}
+	total := 0
 	for _, p := range parts {
 		if p == nil {
 			continue
 		}
-		out.Constituents = append(out.Constituents, p.Constituents...)
+		total += len(p.Constituents)
 		if p.At.After(out.At) {
 			out.At = p.At
 		}
 	}
-	sort.SliceStable(out.Constituents, func(i, j int) bool {
-		return out.Constituents[i].At.Before(out.Constituents[j].At)
-	})
+	cs := make([]Primitive, 0, total)
+	for _, p := range parts {
+		if p != nil {
+			cs = append(cs, p.Constituents...)
+		}
+	}
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].At.Before(cs[j-1].At); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+	out.Constituents = cs
 	return out
 }
 
@@ -253,6 +266,10 @@ type LED struct {
 	timMu   sync.Mutex
 	timers  map[uint64]*logTimer
 	timNext uint64
+
+	// firings recycles the per-propagation pending slices (pool.go), so a
+	// warmed Signal carries no per-call bookkeeping allocation.
+	firings firingPool
 
 	// outMu guards the outstanding-firing set (snapshot.go): firings
 	// detected but not yet durably handed off to their rule actions.
@@ -529,13 +546,13 @@ func (l *LED) Signal(p Primitive) {
 		l.mu.RUnlock()
 		return
 	}
-	fired := sh.collect(func() {
+	scr := l.firings.get()
+	fired := sh.collect(scr, func() {
 		n := sh.nodes[p.Event]
 		if n == nil || n.kind != kPrimitive {
 			return
 		}
-		occ := &Occ{Event: p.Event, At: p.At, Constituents: []Primitive{p}}
-		n.emitPrimitive(occ)
+		n.emitPrimitive(p)
 	})
 	// Note outstanding firings before releasing the topology lock, so a
 	// checkpoint (which takes it for write) sees node state and pending
@@ -543,6 +560,7 @@ func (l *LED) Signal(p Primitive) {
 	l.noteFired(fired, false)
 	l.mu.RUnlock()
 	l.runFirings(fired)
+	l.firings.put(scr)
 }
 
 // ShardID reports the shard currently owning an event (-1 when the event
@@ -584,10 +602,12 @@ func (l *LED) ShardSizes() []int {
 // rule firings it produced.
 func (l *LED) dispatchNode(n *node, fn func()) {
 	l.mu.RLock()
-	fired := n.sh.collect(fn)
+	scr := l.firings.get()
+	fired := n.sh.collect(scr, fn)
 	l.noteFired(fired, false)
 	l.mu.RUnlock()
 	l.runFirings(fired)
+	l.firings.put(scr)
 }
 
 // runFirings executes rule firings detection produced: immediate
@@ -637,9 +657,7 @@ func (l *LED) FlushDeferred() {
 		}
 	}
 	l.mu.RUnlock()
-	sort.SliceStable(kept, func(i, j int) bool {
-		return kept[i].rule.Priority > kept[j].rule.Priority
-	})
+	sortFirings(kept)
 	for _, f := range kept {
 		l.runRule(f)
 		l.clearFired(f.seq)

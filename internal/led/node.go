@@ -263,13 +263,14 @@ func (n *node) emit(ctx Context, occ *Occ) {
 }
 
 // emitPrimitive delivers a primitive occurrence to subscribers of every
-// context (primitive detection is context-free).
-func (n *node) emitPrimitive(occ *Occ) {
+// context (primitive detection is context-free). Each subscriber gets its
+// own context-tagged occurrence built in a single allocation (newPrimOcc)
+// — the same isolation the previous per-subscriber clone provided, minus
+// the intermediate occurrence and one slice allocation per delivery.
+func (n *node) emitPrimitive(p Primitive) {
 	n.led.countOcc(kPrimitive)
 	for _, s := range n.subs {
-		c := occ.clone()
-		c.Context = s.ctx
-		s.fn(c)
+		s.fn(newPrimOcc(p, s.ctx))
 	}
 }
 

@@ -225,21 +225,23 @@ func forEachOwnedNode(root *node, fn func(*node)) {
 }
 
 // collect runs fn under the shard lock, gathers the rule firings the
-// propagation produced, queues the deferred ones globally, and returns the
-// full prioritized list for the caller to execute outside the lock.
+// propagation produced into the caller's pooled scratch, queues the
+// deferred ones globally, and returns the full prioritized list for the
+// caller to execute outside the lock (and then release back to the pool).
 // Caller holds LED.mu for read.
-func (sh *shard) collect(fn func()) []firing {
+func (sh *shard) collect(scr *firingScratch, fn func()) []firing {
 	sh.mu.Lock()
-	sh.pending = nil
+	sh.pending = scr.fs[:0]
 	fn()
 	fired := sh.pending
 	sh.pending = nil
 	sh.mu.Unlock()
-	// Stable-sort by descending priority; equal priorities keep detection
-	// order.
-	sort.SliceStable(fired, func(i, j int) bool {
-		return fired[i].rule.Priority > fired[j].rule.Priority
-	})
+	// Keep the (possibly regrown) backing array with the scratch so the
+	// pool learns the propagation's working-set size.
+	scr.fs = fired
+	// Stable insertion sort by descending priority; equal priorities keep
+	// detection order (allocation-free, see sortFirings).
+	sortFirings(fired)
 	var deferredNow []firing
 	for _, f := range fired {
 		if f.rule.Coupling == Deferred {
