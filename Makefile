@@ -1,7 +1,7 @@
 GO ?= go
 ECAVET := bin/ecavet
 
-.PHONY: check fmt vet lint build test race differential crash-suite cluster-chaos fuzz bench-json bench-matrix bench-gate metrics-smoke
+.PHONY: check fmt vet lint build test race differential cep-differential crash-suite cluster-chaos fuzz bench-json bench-matrix bench-gate metrics-smoke
 
 # The full pre-merge gate: static checks (including the ecavet invariant
 # suite), a clean build, the entire test suite under the race detector, an
@@ -9,7 +9,7 @@ ECAVET := bin/ecavet
 # crash-recovery differential matrix, the cluster failover chaos suite
 # (all under -race), and the perf-regression gate against the committed
 # BENCH_PR7.json baseline.
-check: fmt vet lint build race differential crash-suite cluster-chaos bench-gate
+check: fmt vet lint build race differential cep-differential crash-suite cluster-chaos bench-gate
 
 # gofmt -l prints nonconforming files; any output fails the gate. The
 # second check is waiver hygiene: every //ecavet:allow needs an analyzer
@@ -53,6 +53,13 @@ race:
 # the same clock, plus the randomized merge/split stress, under -race.
 differential:
 	$(GO) test -race -count=1 -run 'TestDifferential|TestStressConcurrentShards|TestShard' ./internal/led
+
+# The CEP oracle-differential proof (DESIGN.md §12): every window,
+# aggregate, and interval operator × context × coupling × shard topology
+# against the brute-force reference interpreter in internal/led/oracle,
+# plus the randomized window property test, under -race.
+cep-differential:
+	$(GO) test -race -count=1 -run 'TestCEPDifferential|TestWindowPropertyRandom' ./internal/led
 
 # The crash-recovery equivalence proof: every Snoop operator under every
 # parameter context, killed at three named crash points per cell with a

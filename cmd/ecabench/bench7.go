@@ -454,12 +454,31 @@ func compareGate(baseline, fresh map[string]gatedMetric, threshold, scale float6
 				name, base.AllocsPerOp, got.AllocsPerOp))
 		}
 		if limit := base.NsPerOp * scale * (1 + threshold); got.NsPerOp > limit {
-			violations = append(violations, fmt.Sprintf(
-				"%s: ns/op rose %.1f -> %.1f (limit %.1f at %+.0f%% and host scale %.2fx)",
-				name, base.NsPerOp, got.NsPerOp, limit, threshold*100, scale))
+			violations = append(violations,
+				nsViolation(name, base.NsPerOp, got.NsPerOp, limit, threshold, scale))
 		}
 	}
 	return violations
+}
+
+// nsViolation renders one ns/op breach. The verb reports the TRUE
+// direction of movement against the raw baseline — a breach of the scaled
+// limit can coincide with a raw decrease (e.g. a baseline recorded on a
+// slower host), and the old hardcoded "rose" printed nonsense like
+// "ns/op rose 1955.4 -> 1849.6". The scaled limit that was actually
+// breached is always printed. The "name:" prefix is load-bearing:
+// remeasureViolating matches violations to benchmarks by it.
+func nsViolation(name string, base, got, limit, threshold, scale float64) string {
+	verb := "rose"
+	switch {
+	case got < base:
+		verb = "fell"
+	case got == base:
+		verb = "held"
+	}
+	return fmt.Sprintf(
+		"%s: ns/op %s %.1f -> %.1f, above scaled limit %.1f (baseline %.1f %+.0f%% at host scale %.2fx)",
+		name, verb, base, got, limit, base, threshold*100, scale)
 }
 
 // calibrate measures the host's current effective single-thread speed:

@@ -84,6 +84,37 @@ func TestGateScaleClampedAtOne(t *testing.T) {
 	}
 }
 
+// The ns/op violation formatter must report the true direction of
+// movement and the scaled limit that was breached (ISSUE 8: a decrease
+// was reported as "ns/op rose 1955.4 -> 1849.6" by the old formatter).
+func TestNsViolationFormatter(t *testing.T) {
+	cases := []struct {
+		name             string
+		base, got, limit float64
+		want             []string
+	}{
+		{"signal_warm", 1000, 1150, 1100,
+			[]string{"signal_warm:", "rose 1000.0 -> 1150.0", "scaled limit 1100.0"}},
+		{"signal_warm", 1955.4, 1849.6, 1800,
+			[]string{"fell 1955.4 -> 1849.6", "scaled limit 1800.0"}},
+		{"signal_warm", 1000, 1000, 990,
+			[]string{"held 1000.0 -> 1000.0"}},
+	}
+	for _, c := range cases {
+		v := nsViolation(c.name, c.base, c.got, c.limit, 0.10, 1.0)
+		for _, w := range c.want {
+			if !strings.Contains(v, w) {
+				t.Errorf("violation %q missing %q", v, w)
+			}
+		}
+		// remeasureViolating matches by this prefix; it must survive any
+		// future rewording.
+		if !strings.HasPrefix(v, c.name+":") {
+			t.Errorf("violation %q lost the %q prefix", v, c.name+":")
+		}
+	}
+}
+
 // A metric missing from the fresh run is a violation, not a silent pass.
 func TestGateFailsOnMissingMetric(t *testing.T) {
 	fresh := baselineGated()

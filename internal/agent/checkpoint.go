@@ -26,8 +26,12 @@ import (
 // previous epoch (or a cold start), never to partially loaded state.
 
 const (
-	ckptMagic   = "ECACKPT1"
-	ckptVersion = 1
+	ckptMagic = "ECACKPT1"
+	// ckptVersion 2 added the CEP window section to each context state
+	// (Ring + NextBound, DESIGN.md §12). Version 1 images decode with
+	// empty window state — correct, since no v1 build had window nodes.
+	ckptVersion   = 2
+	ckptVersionV1 = 1
 
 	// maxCkptItems bounds every decoded collection so a corrupt or
 	// adversarial count cannot balloon allocation before the data runs out.
@@ -187,6 +191,13 @@ func boolUint(b bool) uint64 {
 
 // encodeCheckpoint renders the complete file image for one epoch.
 func encodeCheckpoint(epoch uint64, c *checkpointData) ([]byte, error) {
+	return encodeCheckpointAt(epoch, c, ckptVersion)
+}
+
+// encodeCheckpointAt renders an image at an explicit format version; the
+// v1 path exists so tests can pin that current builds still read images
+// written before the CEP window section existed.
+func encodeCheckpointAt(epoch uint64, c *checkpointData, version uint32) ([]byte, error) {
 	var buf bytes.Buffer
 	w := storage.NewWriter(&buf)
 
@@ -225,6 +236,10 @@ func encodeCheckpoint(epoch uint64, c *checkpointData) ([]byte, error) {
 				w.WriteTime(ps.At)
 			}
 			w.WriteUint(boolUint(cs.Done))
+			if version >= 2 {
+				writeOccStates(w, cs.Ring)
+				w.WriteTime(cs.NextBound)
+			}
 		}
 	}
 	writeFirings(w, c.LED.Deferred)
@@ -257,7 +272,7 @@ func encodeCheckpoint(epoch uint64, c *checkpointData) ([]byte, error) {
 	payload := buf.Bytes()
 
 	out := []byte(ckptMagic)
-	out = binary.LittleEndian.AppendUint32(out, ckptVersion)
+	out = binary.LittleEndian.AppendUint32(out, version)
 	out = binary.LittleEndian.AppendUint64(out, epoch)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
 	out = append(out, payload...)
@@ -277,8 +292,9 @@ func decodeCheckpoint(data []byte) (*checkpointData, uint64, error) {
 		return nil, 0, fmt.Errorf("agent: checkpoint: bad magic %q", data[:len(ckptMagic)])
 	}
 	off := len(ckptMagic)
-	if v := binary.LittleEndian.Uint32(data[off:]); v != ckptVersion {
-		return nil, 0, fmt.Errorf("agent: checkpoint: unsupported version %d", v)
+	version := binary.LittleEndian.Uint32(data[off:])
+	if version != ckptVersion && version != ckptVersionV1 {
+		return nil, 0, fmt.Errorf("agent: checkpoint: unsupported version %d", version)
 	}
 	off += 4
 	epoch := binary.LittleEndian.Uint64(data[off:])
@@ -389,6 +405,14 @@ func decodeCheckpoint(data []byte) (*checkpointData, uint64, error) {
 				return nil, 0, err
 			}
 			cs.Done = done == 1
+			if version >= 2 {
+				if cs.Ring, err = readOccStates(r); err != nil {
+					return nil, 0, err
+				}
+				if cs.NextBound, err = r.ReadTime(); err != nil {
+					return nil, 0, err
+				}
+			}
 			ns.Contexts = append(ns.Contexts, cs)
 		}
 		c.LED.Nodes = append(c.LED.Nodes, ns)

@@ -153,13 +153,24 @@ var cdOperators = []struct{ name, expr string }{
 	{"or", "ea | eb"},
 	{"and", "ea ^ eb"},
 	{"seq", "ea ; eb"},
-	{"not", "not(ea, eb, ec2)"},
+	// not: eb terminates with ec2 forbidden — the reverse ordering never
+	// fires under cdScript (every ea..ec2 span contains an eb).
+	{"not", "not(ea, ec2, eb)"},
 	{"aperiodic", "A(ea, eb, ec2)"},
 	{"aperiodic-star", "A*(ea, eb, ec2)"},
 	{"periodic", "P(ea, [2 sec], ec2)"},
 	{"periodic-star", "P*(ea, [2 sec], ec2)"},
 	{"plus", "ea plus [3 sec]"},
 	{"temporal", "[2030-01-01 00:00:07]"},
+	// CEP cells (ISSUE 8): the ring + armed-boundary state must survive
+	// every crash point, and the aggregate thresholds must round-trip
+	// through the catalog's expression string on recovery.
+	{"window", "window(ea, [3 sec])"},
+	{"window-slide", "window(ea | eb, [4 sec], slide [2 sec])"},
+	{"agg-count", "agg(count, vno, ea | eb, [3 sec]) >= 2"},
+	{"agg-max", "agg(max, vno, ea | eb, [4 sec], slide [2 sec]) != -1"},
+	{"during", "(eb ; ec2) during (ea ; ea)"},
+	{"overlaps", "(ea ; ec2) overlaps (eb ; eb)"},
 }
 
 var cdContexts = []string{"RECENT", "CHRONICLE", "CONTINUOUS", "CUMULATIVE"}
@@ -366,6 +377,34 @@ func TestCrashDifferential(t *testing.T) {
 			})
 			cell++
 		}
+	}
+}
+
+// TestCrashDifferentialProducesActions guards the matrix against vacuous
+// cells: every operator's crash-free oracle run must execute the
+// composite's action at least once in at least one context, or the script
+// never exercises the state the crash points are meant to threaten.
+func TestCrashDifferentialProducesActions(t *testing.T) {
+	for _, op := range cdOperators {
+		op := op
+		t.Run(op.name, func(t *testing.T) {
+			t.Parallel()
+			total := 0
+			for _, ctx := range cdContexts {
+				r := newCDRun(t, 1, nil)
+				r.setup(op.expr, ctx)
+				r.run()
+				for _, b := range r.acts.snapshot() {
+					if strings.Contains(b, "cd_comp") {
+						total++
+					}
+				}
+				r.agent.Close()
+			}
+			if total == 0 {
+				t.Errorf("operator %s: composite action never executed in any context", op.name)
+			}
+		})
 	}
 }
 

@@ -34,6 +34,56 @@ func fuzzCheckpointImage() []byte {
 	return img
 }
 
+// fuzzCheckpointImageCEP builds a valid image whose LED snapshot carries
+// the v2 window section (ring + armed boundary), so the fuzzer explores
+// mutations of the new bytes too.
+func fuzzCheckpointImageCEP() []byte {
+	at := time.Unix(1700000000, 0).UTC()
+	c := &checkpointData{
+		Watermarks: map[string]ckptWatermark{},
+		LED: &led.StateSnapshot{
+			Nodes: []led.NodeState{{
+				Path: "db.u.win",
+				Kind: 11, // kWindow
+				Contexts: []led.CtxState{{
+					Ctx: led.Recent,
+					Ring: []led.OccState{{Event: "db.u.e", Context: led.Recent, At: at,
+						Constituents: []led.Primitive{{Event: "db.u.e", Table: "db.u.t", Op: "insert", VNo: 2, At: at}}}},
+					NextBound: at.Add(5 * time.Second),
+				}},
+			}},
+		},
+	}
+	img, err := encodeCheckpoint(7, c)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// fuzzCheckpointImageV1 is the same shape encoded at format version 1.
+func fuzzCheckpointImageV1() []byte {
+	at := time.Unix(1700000000, 0).UTC()
+	c := &checkpointData{
+		Watermarks: map[string]ckptWatermark{},
+		LED: &led.StateSnapshot{
+			Nodes: []led.NodeState{{
+				Path: "db.u.comp",
+				Kind: 2,
+				Contexts: []led.CtxState{{
+					Ctx:  led.Chronicle,
+					Left: []led.OccState{{Event: "db.u.e", At: at}},
+				}},
+			}},
+		},
+	}
+	img, err := encodeCheckpointAt(2, c, ckptVersionV1)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
 // FuzzLoadCheckpoint: a checkpoint image that is truncated, bit-flipped,
 // or version-skewed must produce an error — never a panic, and never a
 // partially decoded state alongside one.
@@ -52,6 +102,13 @@ func FuzzLoadCheckpoint(f *testing.F) {
 	badMagic := append([]byte(nil), img...)
 	badMagic[0] = 'X'
 	f.Add(badMagic)
+	cep := fuzzCheckpointImageCEP()
+	f.Add(cep)
+	f.Add(cep[:len(cep)-9]) // truncated inside the window section
+	cepFlip := append([]byte(nil), cep...)
+	cepFlip[len(cepFlip)-12] ^= 0x20
+	f.Add(cepFlip)
+	f.Add(fuzzCheckpointImageV1())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ck, _, err := decodeCheckpoint(data)
 		if err != nil && ck != nil {

@@ -300,6 +300,16 @@ func TestCheckpointRoundTrip(t *testing.T) {
 					Ctx:  led.Recent,
 					Left: []led.OccState{{Event: "db.u.e", Context: led.Recent, At: at}},
 				}},
+			}, {
+				// A CEP window node's partial state (format v2 section).
+				Path: "db.u.win",
+				Kind: 11,
+				Contexts: []led.CtxState{{
+					Ctx: led.Chronicle,
+					Ring: []led.OccState{{Event: "db.u.e", Context: led.Chronicle, At: at,
+						Constituents: []led.Primitive{{Event: "db.u.e", Table: "db.u.t", Op: "insert", VNo: 8, At: at}}}},
+					NextBound: at.Add(5 * time.Second),
+				}},
 			}},
 			Deferred: []led.FiringState{{Rule: "db.u.r", Occ: led.OccState{Event: "db.u.e", At: at}}},
 			Outstanding: []led.FiringState{{Rule: "db.u.r2", Occ: led.OccState{Event: "db.u.e", At: at,
@@ -323,7 +333,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if w := got.Watermarks["db.u.e"]; w.Last != 7 || w.Table != "db.u.t" {
 		t.Errorf("watermark: %+v", w)
 	}
-	if len(got.LED.Nodes) != 1 || got.LED.Nodes[0].Path != "db.u.comp/0" || got.LED.Nodes[0].Kind != 3 {
+	if len(got.LED.Nodes) != 2 || got.LED.Nodes[0].Path != "db.u.comp/0" || got.LED.Nodes[0].Kind != 3 {
 		t.Errorf("nodes: %+v", got.LED.Nodes)
 	}
 	if len(got.LED.Outstanding) != 1 || got.LED.Outstanding[0].Occ.Constituents[0].VNo != 7 {
@@ -337,5 +347,52 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 	if !got.LED.Nodes[0].Contexts[0].Left[0].At.Equal(at) {
 		t.Errorf("timestamp drifted: %v", got.LED.Nodes[0].Contexts[0].Left[0].At)
+	}
+	win := got.LED.Nodes[1].Contexts[0]
+	if len(win.Ring) != 1 || win.Ring[0].Constituents[0].VNo != 8 {
+		t.Errorf("window ring: %+v", win.Ring)
+	}
+	if !win.NextBound.Equal(at.Add(5 * time.Second)) {
+		t.Errorf("window boundary deadline drifted: %v", win.NextBound)
+	}
+}
+
+// TestCheckpointReadsV1 pins backward compatibility: an image written at
+// format version 1 (before the CEP window section) must decode on a v2
+// build, with every context's window state empty.
+func TestCheckpointReadsV1(t *testing.T) {
+	at := time.Unix(1700000000, 42).UTC()
+	c := &checkpointData{
+		Watermarks: map[string]ckptWatermark{
+			"db.u.e": {Event: "db.u.e", Table: "db.u.t", Op: "insert", Last: 7},
+		},
+		LED: &led.StateSnapshot{
+			Nodes: []led.NodeState{{
+				Path: "db.u.comp/0",
+				Kind: 3,
+				Contexts: []led.CtxState{{
+					Ctx:  led.Recent,
+					Left: []led.OccState{{Event: "db.u.e", Context: led.Recent, At: at}},
+				}},
+			}},
+		},
+	}
+	img, err := encodeCheckpointAt(4, c, ckptVersionV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, epoch, err := decodeCheckpoint(img)
+	if err != nil {
+		t.Fatalf("v1 image rejected: %v", err)
+	}
+	if epoch != 4 || len(got.LED.Nodes) != 1 {
+		t.Fatalf("v1 decode: epoch=%d nodes=%+v", epoch, got.LED.Nodes)
+	}
+	cs := got.LED.Nodes[0].Contexts[0]
+	if len(cs.Ring) != 0 || !cs.NextBound.IsZero() {
+		t.Errorf("v1 image produced window state: %+v", cs)
+	}
+	if len(cs.Left) != 1 || !cs.Left[0].At.Equal(at) {
+		t.Errorf("v1 payload content lost: %+v", cs)
 	}
 }

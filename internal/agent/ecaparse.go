@@ -184,6 +184,10 @@ func ParseECATrigger(src string) (*TriggerDef, error) {
 		i++
 		start := i
 		depth := 0
+		// A number at depth 0 normally ends the expression (it is the
+		// priority modifier) — except right after a comparison operator,
+		// where it is an aggregate threshold: AGG(...) > 10 DEFERRED.
+		cmpPending := false
 		for i < len(toks) {
 			t := toks[i]
 			switch {
@@ -192,8 +196,17 @@ func ParseECATrigger(src string) (*TriggerDef, error) {
 			case t.IsOp(")"):
 				depth--
 			}
-			if depth == 0 && isModifierOrAs(t) {
+			if depth == 0 && !cmpPending && isModifierOrAs(t) {
 				break
+			}
+			if depth == 0 {
+				switch {
+				case isCmpOp(t):
+					cmpPending = true
+				case cmpPending && t.IsOp("-"): // negative threshold
+				default:
+					cmpPending = false
+				}
 			}
 			i++
 		}
@@ -239,6 +252,16 @@ func ParseECATrigger(src string) (*TriggerDef, error) {
 		return nil, fmt.Errorf("agent: empty trigger action")
 	}
 	return def, nil
+}
+
+// isCmpOp reports whether t is one of the Snoop aggregate comparison
+// operators.
+func isCmpOp(t sqllex.Token) bool {
+	switch {
+	case t.IsOp(">"), t.IsOp(">="), t.IsOp("<"), t.IsOp("<="), t.IsOp("=="), t.IsOp("!="):
+		return true
+	}
+	return false
 }
 
 func isModifierOrAs(t sqllex.Token) bool {

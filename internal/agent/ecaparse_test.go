@@ -137,6 +137,37 @@ func TestParseECATriggerCompositeExprBoundary(t *testing.T) {
 	}
 }
 
+func TestParseECATriggerAggThreshold(t *testing.T) {
+	// A top-level number after a comparison operator is an aggregate
+	// threshold, not the priority modifier; the number AFTER the
+	// threshold is the priority again.
+	cases := []struct {
+		src, expr string
+		priority  int
+	}{
+		{"create trigger t event e = AGG(COUNT, vno, hot, [5 sec]) > 10 as print 'x'",
+			"AGG(COUNT, vno, hot, [5 sec]) > 10", 0},
+		{"create trigger t event e = AGG(AVG, vno, hot, [5 sec], SLIDE [1 sec]) <= 2 DEFERRED 7 as print 'x'",
+			"AGG(AVG, vno, hot, [5 sec], SLIDE [1 sec]) <= 2", 7},
+		{"create trigger t event e = AGG(MIN, vno, hot, [5 sec]) != -3 as print 'x'",
+			"AGG(MIN, vno, hot, [5 sec]) != -3", 0},
+		{"create trigger t event e = WINDOW(hot, [5 sec], SLIDE [1 sec]) CHRONICLE 2 as print 'x'",
+			"WINDOW(hot, [5 sec], SLIDE [1 sec])", 2},
+	}
+	for _, c := range cases {
+		def, err := ParseECATrigger(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if def.EventExpr != c.expr {
+			t.Errorf("%s:\nexpr %q, want %q", c.src, def.EventExpr, c.expr)
+		}
+		if def.Priority != c.priority {
+			t.Errorf("%s: priority %d, want %d", c.src, def.Priority, c.priority)
+		}
+	}
+}
+
 func TestParseECATriggerOwnerQualified(t *testing.T) {
 	def, err := ParseECATrigger("create trigger sharma.t on sharma.stock for delete event delStk as print 'x'")
 	if err != nil {

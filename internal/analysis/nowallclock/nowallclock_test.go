@@ -10,5 +10,6 @@ import (
 func TestNoWallClock(t *testing.T) {
 	analysistest.Run(t, "testdata", nowallclock.Analyzer,
 		"github.com/activedb/ecaagent/internal/led/nwcfix",
+		"github.com/activedb/ecaagent/internal/led/oracle/oraclefix",
 		"plainfix")
 }

@@ -1,0 +1,41 @@
+// Package oraclefix exercises nowallclock over the CEP window code paths
+// added in ISSUE 8: the reference oracle lives in the subpackage
+// internal/led/oracle, which the deterministic prefix rule must cover, and
+// window-boundary logic is exactly where an accidental wall-clock read
+// would silently desynchronize the differential suites.
+package oraclefix
+
+import "time"
+
+type windowState struct {
+	ring      []int
+	nextBound time.Time
+}
+
+// Arming a boundary from the wall clock instead of the Clock seam is the
+// canonical CEP determinism bug: replayed runs would compute different
+// grids.
+func (st *windowState) armFromWallClock(slide time.Duration) {
+	now := time.Now() // want `wall clock: time.Now`
+	st.nextBound = now.Truncate(slide).Add(slide)
+	time.AfterFunc(slide, func() {}) // want `wall clock: time.AfterFunc`
+}
+
+// Boundary arithmetic over an explicit occurrence time is pure — the
+// sanctioned shape for computing the slide grid.
+func (st *windowState) armFromOccurrence(at time.Time, slide time.Duration) {
+	st.nextBound = time.Unix(0, (at.UnixNano()/int64(slide)+1)*int64(slide)).UTC()
+}
+
+// Evicting the ring against a boundary instant is Time-method arithmetic,
+// never flagged.
+func (st *windowState) evict(bound time.Time, size time.Duration, at []time.Time) {
+	lo := bound.Add(-size)
+	kept := st.ring[:0]
+	for i, t := range at {
+		if !t.Before(lo) {
+			kept = append(kept, st.ring[i])
+		}
+	}
+	st.ring = kept
+}

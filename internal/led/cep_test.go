@@ -1,0 +1,283 @@
+package led
+
+import (
+	"testing"
+	"time"
+)
+
+// t0 is 2026-07-04 12:00:00 UTC — a whole hour, so it sits on the
+// boundary grid of every slide the tests use. sig(k) lands at t0+k sec.
+
+func TestWindowTumbling(t *testing.T) {
+	h := newHarness(t, "e1")
+	defComposite(t, h, "w", "WINDOW(e1, [10 sec])")
+	h.watch(t, "w", Recent)
+	h.sig("e1")                       // +1
+	h.sig("e1")                       // +2
+	h.clock.Advance(10 * time.Second) // boundary at +10: [0,10) -> both
+	occs := h.take()
+	if len(occs) != 1 {
+		t.Fatalf("window fired %d times, want 1: %+v", len(occs), occs)
+	}
+	o := occs[0]
+	if !o.At.Equal(t0.Add(10 * time.Second)) {
+		t.Errorf("window At = %v, want boundary", o.At)
+	}
+	// Both signals plus the boundary tick.
+	if got := vnos(o); len(got) != 3 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("constituents: %v", got)
+	}
+	// Next boundary has no content: nothing fires, timer disarms.
+	h.clock.Advance(20 * time.Second)
+	if occs := h.take(); len(occs) != 0 {
+		t.Errorf("empty window fired: %+v", occs)
+	}
+}
+
+func TestWindowSliding(t *testing.T) {
+	h := newHarness(t, "e1")
+	defComposite(t, h, "w", "WINDOW(e1, [10 sec], SLIDE [5 sec])")
+	h.watch(t, "w", Recent)
+	h.sig("e1") // +1
+	h.sig("e1") // +2
+	h.sig("e1") // +3
+	// Boundaries: +5 sees [−5,5) = {1,2,3}; +10 sees [0,10) = {1,2,3};
+	// +15 sees [5,15) = {}; nothing after.
+	h.clock.Advance(30 * time.Second)
+	occs := h.take()
+	if len(occs) != 2 {
+		t.Fatalf("sliding window fired %d times, want 2: %+v", len(occs), occs)
+	}
+	if !occs[0].At.Equal(t0.Add(5*time.Second)) || !occs[1].At.Equal(t0.Add(10*time.Second)) {
+		t.Errorf("boundaries: %v, %v", occs[0].At, occs[1].At)
+	}
+	for _, o := range occs {
+		if got := vnos(o); len(got) != 4 { // 3 signals + tick
+			t.Errorf("content at %v: %v", o.At, got)
+		}
+	}
+}
+
+// TestWindowOccurrenceAtBoundary pins the half-open interval: an
+// occurrence exactly at a boundary belongs to the next window, not the
+// one closing at that instant.
+func TestWindowOccurrenceAtBoundary(t *testing.T) {
+	h := newHarness(t, "e1")
+	defComposite(t, h, "w", "WINDOW(e1, [5 sec])")
+	h.watch(t, "w", Recent)
+	h.clock.Advance(5 * time.Second) // now == t0+5, a boundary
+	h.led.Signal(Primitive{Event: "e1", Op: "insert", VNo: 9, At: h.clock.Now()})
+	h.clock.Advance(1 * time.Second)
+	if occs := h.take(); len(occs) != 0 {
+		t.Fatalf("fired before the occurrence's window closed: %+v", occs)
+	}
+	h.clock.Advance(4 * time.Second) // boundary +10: [5,10) -> {9}
+	occs := h.take()
+	if len(occs) != 1 || occs[0].Constituents[0].VNo != 9 {
+		t.Fatalf("want the +5 occurrence in the +10 window: %+v", occs)
+	}
+}
+
+func TestWindowCompositeChild(t *testing.T) {
+	h := newHarness(t, "e1", "e2")
+	defComposite(t, h, "w", "WINDOW(e1 ; e2, [10 sec])")
+	h.watch(t, "w", Chronicle)
+	h.sig("e1") // +1
+	h.sig("e2") // +2: seq completes at +2
+	h.clock.Advance(10 * time.Second)
+	occs := h.take()
+	if len(occs) != 1 {
+		t.Fatalf("window over seq fired %d times: %+v", len(occs), occs)
+	}
+	if got := vnos(occs[0]); len(got) != 3 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("constituents: %v", got)
+	}
+}
+
+func TestAggThreshold(t *testing.T) {
+	h := newHarness(t, "e1")
+	// vnos 1,2,3 arrive in the first 10s window: COUNT=3, SUM=6, AVG=2.
+	defComposite(t, h, "hot", "AGG(COUNT, vno, e1, [10 sec]) >= 3")
+	defComposite(t, h, "cold", "AGG(SUM, vno, e1, [10 sec]) > 100")
+	defComposite(t, h, "avg", "AGG(AVG, vno, e1, [10 sec]) == 2")
+	defComposite(t, h, "lo", "AGG(MIN, vno, e1, [10 sec]) < 2")
+	defComposite(t, h, "hi", "AGG(MAX, vno, e1, [10 sec]) != 3")
+	for _, ev := range []string{"hot", "cold", "avg", "lo", "hi"} {
+		h.watch(t, ev, Recent)
+	}
+	h.sig("e1")
+	h.sig("e1")
+	h.sig("e1")
+	h.clock.Advance(10 * time.Second)
+	fired := map[string]int{}
+	for _, o := range h.take() {
+		fired[o.Event]++
+	}
+	if fired["hot"] != 1 || fired["avg"] != 1 || fired["lo"] != 1 {
+		t.Errorf("satisfied aggregates did not fire: %v", fired)
+	}
+	if fired["cold"] != 0 || fired["hi"] != 0 {
+		t.Errorf("unsatisfied aggregates fired: %v", fired)
+	}
+}
+
+func TestAggNoComparatorFiresWhenNonEmpty(t *testing.T) {
+	h := newHarness(t, "e1")
+	defComposite(t, h, "c", "AGG(COUNT, vno, e1, [5 sec])")
+	h.watch(t, "c", Recent)
+	h.sig("e1") // +1
+	h.clock.Advance(20 * time.Second)
+	occs := h.take()
+	if len(occs) != 1 || !occs[0].At.Equal(t0.Add(5*time.Second)) {
+		t.Fatalf("bare AGG: %+v", occs)
+	}
+}
+
+func TestDuring(t *testing.T) {
+	// L = (e2 ; e3) spans [+2,+3]; R = (e1 ; e4) spans [+1,+4]:
+	// L strictly inside R -> DURING fires when R completes at +4.
+	h := newHarness(t, "e1", "e2", "e3", "e4")
+	defComposite(t, h, "d", "(e2 ; e3) DURING (e1 ; e4)")
+	h.watch(t, "d", Recent)
+	h.sig("e1")
+	h.sig("e2")
+	h.sig("e3")
+	h.sig("e4")
+	occs := h.take()
+	if len(occs) != 1 {
+		t.Fatalf("DURING fired %d times: %+v", len(occs), occs)
+	}
+	if got := vnos(occs[0]); len(got) != 4 {
+		t.Errorf("constituents: %v", got)
+	}
+	// Reversed nesting must not fire: L spans [+5,+8], R spans [+6,+7].
+	h.sig("e2") // +5
+	h.sig("e1") // +6
+	h.sig("e4") // +7  (R completes; L not complete yet)
+	h.sig("e3") // +8  (L completes after R — no terminator left)
+	if occs := h.take(); len(occs) != 0 {
+		t.Errorf("non-nested intervals fired DURING: %+v", occs)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	// L = (e1 ; e3) spans [+1,+3]; R = (e2 ; e4) spans [+2,+4]:
+	// Ls < Rs < Le < Re -> OVERLAPS fires at +4.
+	h := newHarness(t, "e1", "e2", "e3", "e4")
+	defComposite(t, h, "o", "(e1 ; e3) OVERLAPS (e2 ; e4)")
+	h.watch(t, "o", Recent)
+	h.sig("e1")
+	h.sig("e2")
+	h.sig("e3")
+	h.sig("e4")
+	occs := h.take()
+	if len(occs) != 1 {
+		t.Fatalf("OVERLAPS fired %d times: %+v", len(occs), occs)
+	}
+	// Disjoint intervals must not fire: L [+5,+6], R [+7,+8].
+	h.sig("e1") // +5
+	h.sig("e3") // +6
+	h.sig("e2") // +7
+	h.sig("e4") // +8
+	if occs := h.take(); len(occs) != 0 {
+		t.Errorf("disjoint intervals fired OVERLAPS: %+v", occs)
+	}
+}
+
+// TestIntervalContexts pins the Seq-mirroring consumption policy: two
+// nested L occurrences against one R terminator.
+func TestIntervalContexts(t *testing.T) {
+	runs := map[Context]int{Recent: 1, Chronicle: 1, Continuous: 2, Cumulative: 1}
+	for ctx, want := range runs {
+		h := newHarness(t, "e1", "e2", "e3", "e4")
+		defComposite(t, h, "d", "(e2 ; e3) DURING (e1 ; e4)")
+		h.watch(t, "d", ctx)
+		h.sig("e1") // +1 R starts
+		h.sig("e2") // +2 L1 starts
+		h.sig("e3") // +3 L1 ends [2,3]; also L2 start below
+		h.sig("e2") // +4
+		h.sig("e3") // +5 L2 [4,5]
+		h.sig("e4") // +6 R ends [1,6]; both Ls strictly inside
+		occs := h.take()
+		if len(occs) != want {
+			t.Errorf("%v: DURING fired %d times, want %d", ctx, len(occs), want)
+		}
+		if ctx == Cumulative && len(occs) == 1 {
+			// Both Ls and the R merged into one occurrence.
+			if got := vnos(occs[0]); len(got) < 6 {
+				t.Errorf("cumulative constituents: %v", got)
+			}
+		}
+	}
+}
+
+func TestWindowSnapshotRoundTrip(t *testing.T) {
+	h := newHarness(t, "e1")
+	defComposite(t, h, "w", "WINDOW(e1, [10 sec], SLIDE [5 sec])")
+	h.watch(t, "w", Recent)
+	h.sig("e1") // +1
+	h.sig("e1") // +2
+
+	snap := h.led.SnapshotState()
+
+	// Rebuild a fresh detector, restore, and the boundary must fire with
+	// the pre-snapshot content.
+	h2 := &harness{clock: NewManualClock(h.clock.Now())}
+	h2.led = New(h2.clock)
+	if err := h2.led.DefinePrimitive("e1"); err != nil {
+		t.Fatal(err)
+	}
+	defComposite(t, h2, "w", "WINDOW(e1, [10 sec], SLIDE [5 sec])")
+	h2.watch(t, "w", Recent)
+	if err := h2.led.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	h2.clock.Advance(5 * time.Second) // boundary +5
+	occs := h2.take()
+	if len(occs) != 1 {
+		t.Fatalf("restored window fired %d times: %+v", len(occs), occs)
+	}
+	if got := vnos(occs[0]); len(got) != 3 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("restored content: %v", got)
+	}
+}
+
+func TestWindowRestoreInvariantRejected(t *testing.T) {
+	h := newHarness(t, "e1")
+	defComposite(t, h, "w", "WINDOW(e1, [10 sec])")
+	h.watch(t, "w", Recent)
+	h.sig("e1")
+	snap := h.led.SnapshotState()
+	// Corrupt the image: ring entries with no armed boundary.
+	for i := range snap.Nodes {
+		for j := range snap.Nodes[i].Contexts {
+			snap.Nodes[i].Contexts[j].NextBound = time.Time{}
+		}
+	}
+	h2 := newHarness(t, "e1")
+	defComposite(t, h2, "w", "WINDOW(e1, [10 sec])")
+	h2.watch(t, "w", Recent)
+	if err := h2.led.RestoreState(snap); err == nil {
+		t.Fatal("restore accepted a ring with no armed boundary")
+	}
+}
+
+func TestBoundaryAfter(t *testing.T) {
+	base := time.Unix(100, 0).UTC()
+	cases := []struct {
+		t     time.Time
+		slide time.Duration
+		want  time.Time
+	}{
+		{base, 10 * time.Second, time.Unix(110, 0).UTC()}, // on-grid moves to next
+		{base.Add(time.Nanosecond), 10 * time.Second, time.Unix(110, 0).UTC()},
+		{base.Add(9 * time.Second), 10 * time.Second, time.Unix(110, 0).UTC()},
+		{time.Unix(0, 0), 5 * time.Second, time.Unix(5, 0).UTC()},
+		{time.Unix(-3, 0), 5 * time.Second, time.Unix(0, 0).UTC()}, // pre-epoch floors correctly
+	}
+	for _, c := range cases {
+		if got := boundaryAfter(c.t, c.slide); !got.Equal(c.want) {
+			t.Errorf("boundaryAfter(%v, %v) = %v, want %v", c.t, c.slide, got, c.want)
+		}
+	}
+}

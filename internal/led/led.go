@@ -379,6 +379,12 @@ func validateExpr(expr snoop.Expr) error {
 			if x.Delta < 0 {
 				err = fmt.Errorf("led: PLUS needs a non-negative delay")
 			}
+		case *snoop.Window:
+			err = validateWindow(x.Size, x.Slide)
+		case *snoop.Agg:
+			err = validateAgg(x)
+		case *snoop.Interval:
+			_, err = intervalKind(x.Rel)
 		}
 	})
 	return err

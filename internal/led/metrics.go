@@ -19,6 +19,10 @@ var opName = map[kind]string{
 	kPerStar:   "periodic_star",
 	kPlus:      "plus",
 	kTemporal:  "temporal",
+	kWindow:    "window",
+	kAgg:       "agg",
+	kDuring:    "during",
+	kOverlaps:  "overlaps",
 }
 
 // ledMetrics holds the detector's instruments. Per-kind counters are

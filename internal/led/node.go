@@ -22,6 +22,10 @@ const (
 	kPerStar  // P*
 	kPlus
 	kTemporal
+	kWindow   // WINDOW(E, [size], SLIDE [slide])
+	kAgg      // AGG(FN, param, E, [size], SLIDE [slide]) cmp thr
+	kDuring   // L DURING R
+	kOverlaps // L OVERLAPS R
 )
 
 // sub is one subscription to a node's occurrences in one context. rule is
@@ -48,8 +52,14 @@ type node struct {
 	children []*node
 	expr     snoop.Expr // set on registered composite roots, for refcounts
 
-	dur   time.Duration // kPer, kPerStar, kPlus
+	dur   time.Duration // kPer, kPerStar, kPlus; window size for kWindow/kAgg
 	absAt time.Time     // kTemporal
+
+	slide    time.Duration // kWindow, kAgg: boundary-grid pitch
+	aggFn    string        // kAgg: COUNT, SUM, AVG, MIN, MAX
+	aggParam string        // kAgg: aggregated parameter (vno)
+	aggCmp   string        // kAgg: "" or a comparator
+	aggThr   float64       // kAgg: comparison threshold
 
 	subs      []sub
 	activated map[Context]bool
@@ -71,6 +81,15 @@ type opState struct {
 	plus []*plusPending
 	// done marks a temporal event that has fired (one-shot).
 	done bool
+
+	// ring buffers child occurrences still eligible for a future window
+	// boundary (kWindow/kAgg), in arrival order; nextBound is the armed
+	// boundary deadline (zero while the ring is empty — the arming
+	// invariant is ring non-empty ⟺ boundary timer armed). ringStop
+	// cancels the armed boundary timer.
+	ring      []*Occ
+	nextBound time.Time
+	ringStop  func()
 }
 
 // window is one open interval for the aperiodic/periodic operators.
@@ -136,6 +155,36 @@ func (sh *shard) build(expr snoop.Expr) (*node, error) {
 		return sh.buildNary(kPlus, []snoop.Expr{e.E}, expr, e.Delta, time.Time{})
 	case *snoop.Temporal:
 		return &node{led: sh.led, sh: sh, kind: kTemporal, absAt: e.At, expr: expr}, nil
+	case *snoop.Window:
+		if err := validateWindow(e.Size, e.Slide); err != nil {
+			return nil, err
+		}
+		n, err := sh.buildNary(kWindow, []snoop.Expr{e.E}, expr, e.Size, time.Time{})
+		if err != nil {
+			return nil, err
+		}
+		n.slide = e.Slide
+		return n, nil
+	case *snoop.Agg:
+		if err := validateAgg(e); err != nil {
+			return nil, err
+		}
+		n, err := sh.buildNary(kAgg, []snoop.Expr{e.E}, expr, e.Size, time.Time{})
+		if err != nil {
+			return nil, err
+		}
+		n.slide = e.Slide
+		n.aggFn = e.Fn
+		n.aggParam = e.Param
+		n.aggCmp = e.Cmp
+		n.aggThr = e.Threshold
+		return n, nil
+	case *snoop.Interval:
+		k, err := intervalKind(e.Rel)
+		if err != nil {
+			return nil, err
+		}
+		return sh.buildBinary(k, e.L, e.R, expr)
 	default:
 		return nil, fmt.Errorf("led: unsupported expression %T", expr)
 	}
@@ -301,6 +350,12 @@ func (n *node) onChild(ctx Context, idx int, occ *Occ) {
 
 	case kPlus:
 		n.onPlus(ctx, st, occ)
+
+	case kWindow, kAgg:
+		n.onWindowChild(ctx, st, occ)
+
+	case kDuring, kOverlaps:
+		n.onInterval(ctx, st, idx, occ)
 	}
 }
 

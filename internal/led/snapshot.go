@@ -41,6 +41,12 @@ type CtxState struct {
 	Windows []WindowState
 	Plus    []PlusState
 	Done    bool // temporal event already fired
+	// Ring and NextBound carry a CEP window/aggregate node's buffered
+	// child occurrences and armed boundary deadline (cep.go). Snapshot
+	// section v2; absent in v1 checkpoints, which restores as an empty
+	// window — correct for any checkpoint written before windows existed.
+	Ring      []OccState
+	NextBound time.Time
 }
 
 // WindowState is one open A/A*/P/P* interval. Next is the next periodic
@@ -184,14 +190,16 @@ func (n *node) captureState(path string) *NodeState {
 	for _, ctx := range ctxs {
 		st := n.state[ctx]
 		if len(st.left) == 0 && len(st.right) == 0 && len(st.windows) == 0 &&
-			len(st.plus) == 0 && !st.done {
+			len(st.plus) == 0 && !st.done && len(st.ring) == 0 {
 			continue
 		}
 		cs := CtxState{
-			Ctx:   ctx,
-			Left:  occsToState(st.left),
-			Right: occsToState(st.right),
-			Done:  st.done,
+			Ctx:       ctx,
+			Left:      occsToState(st.left),
+			Right:     occsToState(st.right),
+			Done:      st.done,
+			Ring:      occsToState(st.ring),
+			NextBound: st.nextBound,
 		}
 		for _, w := range st.windows {
 			cs.Windows = append(cs.Windows, WindowState{
@@ -252,6 +260,14 @@ func (l *LED) RestoreState(snap *StateSnapshot) error {
 					}
 				}
 			}
+			// A CEP window's arming invariant (ring non-empty ⟺ boundary
+			// timer armed) must hold in the image, or the restored window
+			// would either never fire or fire on an empty ring.
+			if n.kind == kWindow || n.kind == kAgg {
+				if (len(cs.Ring) > 0) != !cs.NextBound.IsZero() {
+					return fmt.Errorf("led: restore: window state at %q violates arming invariant", ns.Path)
+				}
+			}
 			plan = append(plan, target{n: n, cs: cs})
 		}
 	}
@@ -274,6 +290,15 @@ func (l *LED) RestoreState(snap *StateSnapshot) error {
 			p := &plusPending{occ: occFromState(ps.Occ), at: ps.At}
 			st.plus = append(st.plus, p)
 			n.armPlus(cs.Ctx, st, p)
+		}
+		st.ring = occsFromState(cs.Ring)
+		st.nextBound = time.Time{}
+		st.ringStop = nil
+		if !cs.NextBound.IsZero() {
+			// Re-arm at the original logical deadline; a deadline the
+			// crashed process never reached fires during the agent's
+			// FireTimersUpTo replay.
+			n.armBoundary(cs.Ctx, st, cs.NextBound)
 		}
 		if n.kind == kTemporal && !st.done {
 			// Re-arm even when the deadline already passed (the crashed

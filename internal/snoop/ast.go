@@ -10,6 +10,8 @@ package snoop
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -71,6 +73,40 @@ type Plus struct {
 // Temporal is a bare absolute [time string] event.
 type Temporal struct{ At time.Time }
 
+// Window is WINDOW(E, [size], SLIDE [slide]): the child occurrences that
+// fell in the half-open interval [T-size, T), reported at each boundary T
+// of the slide grid (boundaries are multiples of Slide on the Unix-epoch
+// grid). Slide == Size is a tumbling window. Windows may not nest.
+type Window struct {
+	E     Expr
+	Size  time.Duration
+	Slide time.Duration
+}
+
+// Agg is AGG(FN, param, E, [size], SLIDE [slide]) cmp threshold: an
+// aggregate (COUNT, SUM, AVG, MIN, MAX) over the named parameter of the
+// child occurrences inside the same boundary grid as Window. With a
+// comparator the event signals only at boundaries where the aggregate
+// satisfies it; without one it signals at every non-empty boundary.
+type Agg struct {
+	Fn        string // COUNT, SUM, AVG, MIN, MAX
+	Param     string // aggregated parameter, e.g. vno
+	E         Expr
+	Size      time.Duration
+	Slide     time.Duration
+	Cmp       string // "", ">", ">=", "<", "<=", "==", "!="
+	Threshold float64
+}
+
+// Interval is (L DURING R) or (L OVERLAPS R): an Allen-style relation
+// between the durative extents of two composite occurrences, where an
+// occurrence's extent runs from its earliest constituent to its detection
+// time. Both relations are strict (Allen's original definitions).
+type Interval struct {
+	Rel  string // "DURING" or "OVERLAPS"
+	L, R Expr
+}
+
 func (*EventRef) exprNode()  {}
 func (*Or) exprNode()        {}
 func (*And) exprNode()       {}
@@ -80,6 +116,9 @@ func (*Aperiodic) exprNode() {}
 func (*Periodic) exprNode()  {}
 func (*Plus) exprNode()      {}
 func (*Temporal) exprNode()  {}
+func (*Window) exprNode()    {}
+func (*Agg) exprNode()       {}
+func (*Interval) exprNode()  {}
 
 func (e *EventRef) String() string {
 	switch {
@@ -128,6 +167,33 @@ func (e *Temporal) String() string {
 	return "[" + e.At.Format("2006-01-02 15:04:05") + "]"
 }
 
+func (e *Window) String() string {
+	if e.Slide == e.Size {
+		return fmt.Sprintf("WINDOW(%s, [%s])", e.E, FormatDuration(e.Size))
+	}
+	return fmt.Sprintf("WINDOW(%s, [%s], SLIDE [%s])",
+		e.E, FormatDuration(e.Size), FormatDuration(e.Slide))
+}
+
+func (e *Agg) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AGG(%s, %s, %s, [%s]", e.Fn, e.Param, e.E, FormatDuration(e.Size))
+	if e.Slide != e.Size {
+		fmt.Fprintf(&b, ", SLIDE [%s]", FormatDuration(e.Slide))
+	}
+	b.WriteString(")")
+	if e.Cmp != "" {
+		// 'f' keeps the threshold exponent-free so it re-lexes as a name
+		// token; round-tripping String() is load-bearing for the catalog.
+		fmt.Fprintf(&b, " %s %s", e.Cmp, strconv.FormatFloat(e.Threshold, 'f', -1, 64))
+	}
+	return b.String()
+}
+
+func (e *Interval) String() string {
+	return "(" + e.L.String() + " " + e.Rel + " " + e.R.String() + ")"
+}
+
 // Walk calls fn on e and every sub-expression, depth-first.
 func Walk(e Expr, fn func(Expr)) {
 	fn(e)
@@ -154,6 +220,13 @@ func Walk(e Expr, fn func(Expr)) {
 		Walk(e.End, fn)
 	case *Plus:
 		Walk(e.E, fn)
+	case *Window:
+		Walk(e.E, fn)
+	case *Agg:
+		Walk(e.E, fn)
+	case *Interval:
+		Walk(e.L, fn)
+		Walk(e.R, fn)
 	}
 }
 

@@ -47,6 +47,28 @@ func FuzzParse(f *testing.F) {
 		"[5 sec]",
 		"A*(,,)",
 		"e1 ^ (e2 | e3",
+		// CEP layer: windows, aggregates, intervals
+		"WINDOW(e1, [5 min], SLIDE [1 min])",
+		"WINDOW(e1 ; e2, [10 sec])",
+		"AGG(AVG, vno, e1, [5 min], SLIDE [1 min]) > 10.5",
+		"AGG(COUNT, vno, e1, [10 sec])",
+		"AGG(MIN, vno, e1, [1 hour]) <= -3",
+		"(e1 ; e2) DURING (e3 ; e4)",
+		"e1 OVERLAPS e2",
+		"WINDOW(e1, [5 sec]) DURING (e2 ; e3)",
+		// malformed CEP shapes: must error, never panic
+		"WINDOW(e1, [0 sec])",
+		"WINDOW(e1, [5 sec], SLIDE [0 sec])",
+		"WINDOW(e1, [5 parsec])",
+		"WINDOW(WINDOW(e1, [5 sec]), [10 sec])",
+		"AGG(MEDIAN, vno, e1, [5 sec])",
+		"AGG(SUM, vno, e1, [5 sec]) >",
+		"AGG(SUM, vno, e1, [5 sec]) > x",
+		"AGG(SUM, vno, WINDOW(e1, [1 sec]), [5 sec])",
+		"e1 DURING",
+		"e1 = e2",
+		"e1 ! e2",
+		"WINDOW(e1, [5 sec]",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -46,9 +46,22 @@ func (l *lexer) next() (token, error) {
 		text := l.src[l.pos+1 : l.pos+end]
 		l.pos += end + 1
 		return token{kind: tTime, text: strings.TrimSpace(text)}, nil
-	case '(', ')', ',', '|', '^', ';':
+	case '(', ')', ',', '|', '^', ';', '-':
 		l.pos++
 		return token{kind: tOp, text: string(c)}, nil
+	case '>', '<':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tOp, text: string(c) + "="}, nil
+		}
+		return token{kind: tOp, text: string(c)}, nil
+	case '=', '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tOp, text: string(c) + "="}, nil
+		}
+		return token{}, fmt.Errorf("snoop: unexpected character %q at %d", c, l.pos)
 	case ':':
 		if l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
 			l.pos += 2
@@ -173,18 +186,43 @@ func (p *parser) parseAnd() (Expr, error) {
 }
 
 func (p *parser) parseSeq() (Expr, error) {
-	l, err := p.parsePostfix()
+	l, err := p.parseInterval()
 	if err != nil {
 		return nil, err
 	}
 	for p.accept(tOp, ";") || (p.isKeyword("seq") && p.accept(tName, "seq")) {
-		r, err := p.parsePostfix()
+		r, err := p.parseInterval()
 		if err != nil {
 			return nil, err
 		}
 		l = &Seq{L: l, R: r}
 	}
 	return l, nil
+}
+
+// parseInterval handles the Allen relations L DURING R and L OVERLAPS R.
+func (p *parser) parseInterval() (Expr, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var rel string
+		switch {
+		case p.isKeyword("during"):
+			rel = "DURING"
+		case p.isKeyword("overlaps"):
+			rel = "OVERLAPS"
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		l = &Interval{Rel: rel, L: l, R: r}
+	}
 }
 
 // parsePostfix handles E PLUS [t].
@@ -237,6 +275,10 @@ func (p *parser) parsePrimary() (Expr, error) {
 			return p.parseTriple("a")
 		case strings.EqualFold(t.text, "p") && (p.peekAt(1).text == "(" || p.peekAt(1).kind == tStar):
 			return p.parsePeriodic()
+		case strings.EqualFold(t.text, "window") && p.peekAt(1).text == "(":
+			return p.parseWindow()
+		case strings.EqualFold(t.text, "agg") && p.peekAt(1).text == "(":
+			return p.parseAgg()
 		default:
 			return p.parseEventRef()
 		}
@@ -346,6 +388,160 @@ func (p *parser) parsePeriodic() (Expr, error) {
 		return nil, err
 	}
 	return &Periodic{Start: start, Period: period, Param: param, End: end, Star: star}, nil
+}
+
+// AggFns is the set of aggregate functions AGG accepts.
+var AggFns = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// aggCmps is the set of comparators allowed after AGG(...).
+var aggCmps = map[string]bool{
+	">": true, ">=": true, "<": true, "<=": true, "==": true, "!=": true,
+}
+
+// rejectNested errors if e contains a WINDOW or AGG node: windows do not
+// nest (a window of windows has no boundary grid of its own to align to).
+func rejectNested(e Expr) error {
+	var nested error
+	Walk(e, func(x Expr) {
+		switch x.(type) {
+		case *Window, *Agg:
+			if nested == nil {
+				nested = fmt.Errorf("snoop: nested windows are not supported")
+			}
+		}
+	})
+	return nested
+}
+
+// parseWindowTail parses `[size]` followed by an optional `, SLIDE [slide]`,
+// shared by WINDOW and AGG. Zero-width sizes and slides are rejected here
+// so a malformed window never reaches the detector.
+func (p *parser) parseWindowTail(op string) (size, slide time.Duration, err error) {
+	t := p.peek()
+	if t.kind != tTime {
+		return 0, 0, fmt.Errorf("snoop: %s requires a [time string] size, got %q", op, t.text)
+	}
+	p.pos++
+	size, err = ParseDuration(t.text)
+	if err != nil {
+		return 0, 0, err
+	}
+	if size <= 0 {
+		return 0, 0, fmt.Errorf("snoop: %s window size must be positive, got %q", op, t.text)
+	}
+	slide = size
+	if p.accept(tOp, ",") {
+		if !(p.isKeyword("slide") && p.accept(tName, "slide")) {
+			return 0, 0, fmt.Errorf("snoop: expected SLIDE, got %q", p.peek().text)
+		}
+		st := p.peek()
+		if st.kind != tTime {
+			return 0, 0, fmt.Errorf("snoop: SLIDE requires a [time string], got %q", st.text)
+		}
+		p.pos++
+		slide, err = ParseDuration(st.text)
+		if err != nil {
+			return 0, 0, err
+		}
+		if slide <= 0 {
+			return 0, 0, fmt.Errorf("snoop: %s slide must be positive, got %q", op, st.text)
+		}
+	}
+	return size, slide, nil
+}
+
+// parseWindow parses WINDOW(E, [size]) and WINDOW(E, [size], SLIDE [slide]).
+func (p *parser) parseWindow() (Expr, error) {
+	p.pos++ // WINDOW
+	if err := p.expect(tOp, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tOp, ","); err != nil {
+		return nil, err
+	}
+	size, slide, err := p.parseWindowTail("WINDOW")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tOp, ")"); err != nil {
+		return nil, err
+	}
+	if err := rejectNested(e); err != nil {
+		return nil, err
+	}
+	return &Window{E: e, Size: size, Slide: slide}, nil
+}
+
+// parseAgg parses AGG(FN, param, E, [size][, SLIDE [slide]]) with an
+// optional trailing comparator and numeric threshold.
+func (p *parser) parseAgg() (Expr, error) {
+	p.pos++ // AGG
+	if err := p.expect(tOp, "("); err != nil {
+		return nil, err
+	}
+	fnTok := p.peek()
+	if fnTok.kind != tName {
+		return nil, fmt.Errorf("snoop: AGG requires a function name, got %q", fnTok.text)
+	}
+	fn := strings.ToUpper(fnTok.text)
+	if !AggFns[fn] {
+		return nil, fmt.Errorf("snoop: unknown aggregate function %q", fnTok.text)
+	}
+	p.pos++
+	if err := p.expect(tOp, ","); err != nil {
+		return nil, err
+	}
+	paramTok := p.peek()
+	if paramTok.kind != tName {
+		return nil, fmt.Errorf("snoop: AGG requires a parameter name, got %q", paramTok.text)
+	}
+	p.pos++
+	if err := p.expect(tOp, ","); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tOp, ","); err != nil {
+		return nil, err
+	}
+	size, slide, err := p.parseWindowTail("AGG")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tOp, ")"); err != nil {
+		return nil, err
+	}
+	if err := rejectNested(e); err != nil {
+		return nil, err
+	}
+	agg := &Agg{Fn: fn, Param: paramTok.text, E: e, Size: size, Slide: slide}
+	if t := p.peek(); t.kind == tOp && aggCmps[t.text] {
+		p.pos++
+		agg.Cmp = t.text
+		neg := p.accept(tOp, "-")
+		nt := p.peek()
+		if nt.kind != tName {
+			return nil, fmt.Errorf("snoop: AGG threshold must be a number, got %q", nt.text)
+		}
+		v, err := strconv.ParseFloat(nt.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("snoop: AGG threshold must be a number, got %q", nt.text)
+		}
+		p.pos++
+		if neg {
+			v = -v
+		}
+		agg.Threshold = v
+	}
+	return agg, nil
 }
 
 // ParseDuration parses a relative Snoop time string: "<n> <unit>" with

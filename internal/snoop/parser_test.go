@@ -141,6 +141,108 @@ func TestParseNested(t *testing.T) {
 	}
 }
 
+func TestParseWindow(t *testing.T) {
+	e := mustParse(t, "WINDOW(trade, [5 min], SLIDE [1 min])")
+	w, ok := e.(*Window)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if w.Size != 5*time.Minute || w.Slide != time.Minute {
+		t.Errorf("window: %+v", w)
+	}
+	// Tumbling: no SLIDE clause means slide == size.
+	e = mustParse(t, "window(trade, [10 sec])")
+	w = e.(*Window)
+	if w.Size != 10*time.Second || w.Slide != 10*time.Second {
+		t.Errorf("tumbling: %+v", w)
+	}
+	// Composite child.
+	e = mustParse(t, "WINDOW(a ; b, [1 hour], SLIDE [5 min])")
+	w = e.(*Window)
+	if _, ok := w.E.(*Seq); !ok {
+		t.Errorf("child: %T", w.E)
+	}
+}
+
+func TestParseAgg(t *testing.T) {
+	e := mustParse(t, "AGG(AVG, vno, trade, [5 min], SLIDE [1 min]) > 10.5")
+	a, ok := e.(*Agg)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if a.Fn != "AVG" || a.Param != "vno" || a.Size != 5*time.Minute ||
+		a.Slide != time.Minute || a.Cmp != ">" || a.Threshold != 10.5 {
+		t.Errorf("agg: %+v", a)
+	}
+	// No comparator: signals at every non-empty boundary.
+	e = mustParse(t, "agg(count, vno, trade, [10 sec])")
+	a = e.(*Agg)
+	if a.Fn != "COUNT" || a.Cmp != "" || a.Slide != 10*time.Second {
+		t.Errorf("bare agg: %+v", a)
+	}
+	// Negative threshold.
+	e = mustParse(t, "AGG(MIN, vno, trade, [10 sec]) <= -3")
+	a = e.(*Agg)
+	if a.Cmp != "<=" || a.Threshold != -3 {
+		t.Errorf("neg threshold: %+v", a)
+	}
+	for _, cmp := range []string{">", ">=", "<", "<=", "==", "!="} {
+		e := mustParse(t, "AGG(SUM, vno, trade, [10 sec]) "+cmp+" 7")
+		if got := e.(*Agg).Cmp; got != cmp {
+			t.Errorf("cmp %q parsed as %q", cmp, got)
+		}
+	}
+}
+
+func TestParseInterval(t *testing.T) {
+	e := mustParse(t, "(a ; b) DURING (c ; d)")
+	iv, ok := e.(*Interval)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if iv.Rel != "DURING" {
+		t.Errorf("rel: %+v", iv)
+	}
+	e = mustParse(t, "x overlaps y")
+	iv = e.(*Interval)
+	if iv.Rel != "OVERLAPS" {
+		t.Errorf("rel: %+v", iv)
+	}
+	// Interval binds tighter than SEQ, looser than PLUS.
+	e = mustParse(t, "a ; b DURING c PLUS [1 sec]")
+	want := "(a ; (b DURING (c PLUS [1 sec])))"
+	if got := e.String(); got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+}
+
+func TestParseWindowErrors(t *testing.T) {
+	bad := []string{
+		"WINDOW(a)",                                  // no size
+		"WINDOW(a, [0 sec])",                         // zero-width
+		"WINDOW(a, [5 sec], SLIDE [0 sec])",          // zero slide
+		"WINDOW(a, [5 sec], [1 sec])",                // missing SLIDE keyword
+		"WINDOW(a, [5 parsec])",                      // bad duration
+		"WINDOW(a, 5)",                               // unbracketed size
+		"WINDOW(WINDOW(a, [5 sec]), [10 sec])",       // nested window
+		"WINDOW(AGG(SUM, vno, a, [1 sec]), [5 sec])", // nested agg
+		"AGG(MEDIAN, vno, a, [5 sec])",               // unknown fn
+		"AGG(SUM, vno, a, [0 sec])",                  // zero-width
+		"AGG(SUM, vno, a, [5 sec]) >",                // dangling comparator
+		"AGG(SUM, vno, a, [5 sec]) > x",              // non-numeric threshold
+		"AGG(SUM, vno, WINDOW(a, [1 sec]), [5 sec])", // nested window
+		"AGG(SUM, , a, [5 sec])",                     // missing param
+		"a DURING",                                   // missing right operand
+		"DURING b",                                   // missing left operand
+		"a == b",                                     // comparator outside AGG
+	}
+	for _, src := range bad {
+		if e, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded: %v", src, e)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",
@@ -182,6 +284,15 @@ func TestStringRoundTrip(t *testing.T) {
 		"P*(a, [2 min]:qty, b)",
 		"a PLUS [100 ms]",
 		"deposit:acct ^ withdraw::site_app",
+		"WINDOW(a, [5 sec])",
+		"WINDOW(a | b, [5 min], SLIDE [1 min])",
+		"AGG(COUNT, vno, a, [10 sec])",
+		"AGG(AVG, vno, a ; b, [5 min], SLIDE [1 min]) > 10.5",
+		"AGG(MIN, vno, a, [10 sec]) <= -3",
+		"AGG(MAX, vno, a, [10 sec]) != 0.25",
+		"(a ; b) DURING (c ; d)",
+		"x OVERLAPS y ; z",
+		"WINDOW(a, [5 sec]) DURING (b ; c)",
 	}
 	for _, src := range corpus {
 		e1 := mustParse(t, src)

@@ -62,12 +62,18 @@ func genExpr(rng *rand.Rand, depth int) Expr {
 
 func randIdent(rng *rand.Rand) string {
 	letters := "abcdefgh"
-	n := 1 + rng.Intn(5)
-	out := make([]byte, n)
-	for i := range out {
-		out[i] = letters[rng.Intn(len(letters))]
+	for {
+		n := 1 + rng.Intn(5)
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = letters[rng.Intn(len(letters))]
+		}
+		// Reserved words ("add" is spellable from this alphabet) are not
+		// valid identifiers; the parser rejects them in expressions.
+		if !isReserved(string(out)) {
+			return string(out)
+		}
 	}
-	return string(out)
 }
 
 // TestPropertyExprRoundTrip: for random ASTs, one parse normalizes the
