@@ -73,13 +73,22 @@ crash-suite:
 # agent's seven durability crash points plus the mid-replication windows,
 # the promoted standby required to reproduce the crash-free oracle's
 # occurrence set and action multiset for every Snoop operator x context,
-# with promotion latency asserted on a deterministic clock; zombie
-# fencing under a faults.Pipe partition, the affinity router's
-# degradation ladder, and the replication frame/shipper/applier tests
-# ride along. The hard -timeout turns a wedged promotion into a loud
-# failure instead of a hung gate.
+# with promotion latency asserted on a deterministic clock; the sync-ship
+# RPO=0 matrix and SQL-lease zombie cell (ISSUE 9); zombie fencing under
+# a faults.Pipe partition, the affinity router's degradation ladder, and
+# the replication frame/shipper/applier tests ride along. The hard
+# -timeout turns a wedged promotion into a loud failure instead of a hung
+# gate. Output tees to cluster-chaos.log (CI uploads it on failure), and
+# CHAOS_SEED=<n> offsets every cell's deterministic seed — failures print
+# the seed to replay with.
 cluster-chaos:
-	$(GO) test -race -count=1 -timeout 300s ./internal/cluster
+	@rm -f cluster-chaos.exit; \
+	( CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -timeout 300s ./internal/cluster 2>&1; \
+	  echo $$? > cluster-chaos.exit ) | tee cluster-chaos.log; \
+	status=$$(cat cluster-chaos.exit); rm -f cluster-chaos.exit; \
+	if [ "$$status" != 0 ] && [ -n "$(CHAOS_SEED)" ]; then \
+		echo "cluster-chaos failed under CHAOS_SEED=$(CHAOS_SEED)"; fi; \
+	exit $$status
 
 # Short fuzzing passes over the notification decoders, the Snoop parser,
 # and the checkpoint/journal decoders (seed corpora always run under
@@ -109,11 +118,15 @@ bench-matrix:
 
 # Perf-regression gate: re-measures the gated micro-benchmark set and
 # fails on any allocs/op increase or a host-calibrated ns/op slowdown
-# beyond GATE_THRESHOLD vs the committed baseline (EXPERIMENTS.md §PR7).
+# beyond GATE_THRESHOLD vs the committed baseline (EXPERIMENTS.md §PR7),
+# then records the sync-ship overhead ablation (per-record ack latency
+# and throughput, sync vs async, ISSUE 9) into BENCH_PR9.json.
 GATE_BASELINE ?= BENCH_PR7.json
 GATE_THRESHOLD ?= 0.10
+BENCH_SYNC_OUT ?= BENCH_PR9.json
 bench-gate:
 	$(GO) run ./cmd/ecabench -exp gate -gate-baseline $(GATE_BASELINE) -gate-threshold $(GATE_THRESHOLD)
+	$(GO) run ./cmd/ecabench -exp syncship -bench-json $(BENCH_SYNC_OUT)
 
 # Live smoke test of the observability surface: stand up sqlserverd and
 # ecaagent -http, then require a 200 with a non-empty Prometheus

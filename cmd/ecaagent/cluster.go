@@ -13,11 +13,13 @@
 //     agent over the replicated directory — checkpoint restore, journal
 //     replay and the shadow-table resync do the actual recovery work.
 //
-// Fencing note: the in-process epoch registry used here protects a single
-// machine. A deployment where the old primary may still be alive must back
-// cluster.Authority with shared state (an epoch row in the SQL server both
-// nodes already talk to) so the zombie's writes are rejected; see
-// DESIGN.md §10.
+// Fencing note: by default the epoch registry is in-process and protects a
+// single machine. A deployment where the old primary may still be alive
+// should set -authority-server so cluster.Authority is backed by shared
+// state — a leased epoch row in the SQL server both nodes already talk to
+// — and every upstream action is fenced against it: a partitioned zombie's
+// actions are rejected and dead-lettered, and the zombie self-fences when
+// its lease lapses; see DESIGN.md §10.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"github.com/activedb/ecaagent/internal/agent"
+	"github.com/activedb/ecaagent/internal/client"
 	"github.com/activedb/ecaagent/internal/cluster"
 	"github.com/activedb/ecaagent/internal/led"
 	"github.com/activedb/ecaagent/internal/obs"
@@ -45,6 +48,15 @@ type clusterFlags struct {
 	listen     string
 	hbInterval time.Duration
 	hbMisses   int
+
+	replMode    string
+	replDegrade string
+	syncWindow  int
+	ackTimeout  time.Duration
+	grace       time.Duration
+
+	authServer string
+	authLease  time.Duration
 }
 
 func registerClusterFlags(cf *clusterFlags) {
@@ -53,6 +65,16 @@ func registerClusterFlags(cf *clusterFlags) {
 	flag.StringVar(&cf.listen, "repl-listen", "", "standby mode: apply a primary's replication stream from this address, promote when its heartbeats stop")
 	flag.DurationVar(&cf.hbInterval, "heartbeat-interval", 500*time.Millisecond, "heartbeat period (primary) and silence-check cadence (standby)")
 	flag.IntVar(&cf.hbMisses, "heartbeat-misses", 3, "consecutive silent intervals before the standby suspects the primary")
+	flag.StringVar(&cf.replMode, "repl-mode", cluster.ReplModeAsync,
+		"replication acknowledgement mode: async (fire-and-forget, RPO = in-flight tail) or sync (occurrences acknowledged only after the standby's durable ack, RPO=0)")
+	flag.StringVar(&cf.replDegrade, "repl-degrade", cluster.DegradeAsync,
+		"sync-mode policy when the standby stops acknowledging: async (degrade loudly, keep serving) or halt (fence the durability path until the link heals)")
+	flag.IntVar(&cf.syncWindow, "repl-sync-window", 4, "sync mode: max in-flight (shipped, unacknowledged) frames before Ship blocks")
+	flag.DurationVar(&cf.ackTimeout, "repl-ack-timeout", 2*time.Second, "sync mode: per-record deadline for the standby's durable ack")
+	flag.DurationVar(&cf.grace, "repl-grace", 10*time.Second, "sync mode: how long a degraded link may stay degraded before /readyz fails")
+	flag.StringVar(&cf.authServer, "authority-server", "",
+		"SQL server holding the shared fencing-epoch row (empty: in-process registry, single-machine only); every upstream action is fenced against it")
+	flag.DurationVar(&cf.authLease, "authority-lease", 5*time.Second, "lease TTL on the SQL epoch row; an unrenewable holder self-fences when it lapses")
 }
 
 func (cf *clusterFlags) active() bool { return cf.ship != "" || cf.listen != "" }
@@ -66,6 +88,59 @@ func (cf *clusterFlags) validate(ckptDir string) {
 	}
 	if ckptDir == "" {
 		log.Fatal("ecaagent: cluster replication requires -checkpoint-dir (the replicated state lives there)")
+	}
+	switch cf.replMode {
+	case cluster.ReplModeAsync, cluster.ReplModeSync:
+	default:
+		log.Fatalf("ecaagent: -repl-mode must be async or sync (got %q)", cf.replMode)
+	}
+	switch cf.replDegrade {
+	case cluster.DegradeAsync, cluster.DegradeHalt:
+	default:
+		log.Fatalf("ecaagent: -repl-degrade must be async or halt (got %q)", cf.replDegrade)
+	}
+	if cf.replMode == cluster.ReplModeSync && cf.ship == "" {
+		log.Fatal("ecaagent: -repl-mode sync requires -repl-ship (there is no standby to synchronize with)")
+	}
+}
+
+// newAuthority builds the fencing authority: the epoch row in the shared
+// SQL server when -authority-server is set (the deployment where the old
+// primary may still be alive), otherwise the in-process registry (single
+// machine only — see the fencing note above). floorEpoch is the dead
+// primary's last announced epoch after a promotion; the new grant must
+// supersede it, so Acquire repeats until it does (each call increments).
+func newAuthority(cf *clusterFlags, adminUser string, floorEpoch uint64, met *cluster.Metrics) (auth cluster.Authority, epoch uint64, closeAuth func()) {
+	closeAuth = func() {}
+	if cf.authServer != "" {
+		conn, err := client.Connect(cf.authServer, client.Options{User: adminUser, Timeout: 5 * time.Second})
+		if err != nil {
+			log.Fatalf("ecaagent: connecting to authority server %s: %v", cf.authServer, err)
+		}
+		sa, err := cluster.NewSQLAuthority(cluster.SQLAuthorityConfig{
+			Exec:     conn,
+			Node:     cf.node,
+			LeaseTTL: cf.authLease,
+			Logf:     log.Printf,
+			Met:      met,
+		})
+		if err != nil {
+			log.Fatalf("ecaagent: SQL epoch authority: %v", err)
+		}
+		auth = sa
+		closeAuth = func() { sa.Close(); conn.Close() }
+	} else {
+		auth = cluster.NewEpochRegistry()
+	}
+	for {
+		e, err := auth.Acquire(cf.node)
+		if err != nil {
+			closeAuth()
+			log.Fatalf("ecaagent: acquiring fencing epoch: %v", err)
+		}
+		if e > floorEpoch {
+			return auth, e, closeAuth
+		}
 	}
 }
 
@@ -170,10 +245,12 @@ func standbyHandler(reg *obs.Registry, met *cluster.Metrics) http.Handler {
 // primaryReplication is the primary-side cluster wiring hung off the
 // agent's config.
 type primaryReplication struct {
-	shipper *cluster.Shipper
-	hb      *cluster.Heartbeater
-	ship    *cluster.ShipFS
-	met     *cluster.Metrics
+	shipper   *cluster.Shipper
+	hb        *cluster.Heartbeater
+	ship      *cluster.ShipFS
+	ctl       *cluster.SyncController // nil in async mode
+	met       *cluster.Metrics
+	closeAuth func()
 }
 
 // wirePrimaryReplication tees cfg.Durability through a ShipFS streaming to
@@ -181,27 +258,64 @@ type primaryReplication struct {
 // beacon (started once the agent is up). floorEpoch carries the dead
 // primary's epoch across a promotion so the new primary's announcements
 // supersede it.
-func wirePrimaryReplication(cf *clusterFlags, cfg *agent.Config, ckptDir string, floorEpoch uint64, met *cluster.Metrics) *primaryReplication {
-	auth := cluster.NewEpochRegistry()
-	epoch, err := auth.Acquire(cf.node)
-	if err != nil {
-		log.Fatalf("ecaagent: acquiring fencing epoch: %v", err)
-	}
-	if epoch <= floorEpoch {
-		epoch = floorEpoch + 1
-	}
+//
+// Every upstream action runs behind a FencedDialer on the acquired epoch:
+// with -authority-server that epoch lives in the shared SQL server and a
+// partitioned old primary's actions are rejected (and dead-lettered) the
+// moment a successor acquires or its own lease lapses.
+//
+// In -repl-mode sync the ShipFS sink ships AND barriers every frame — the
+// durable append does not return until the standby has acknowledged — and
+// the agent's occurrence path takes the controller's barrier before any
+// acknowledgement or action launch. The degradation ladder is the
+// controller's: sync → degraded-async (loud, readiness fails past
+// -repl-grace) or → fenced halt, per -repl-degrade.
+func wirePrimaryReplication(cf *clusterFlags, cfg *agent.Config, ckptDir, adminUser string, floorEpoch uint64, met *cluster.Metrics) *primaryReplication {
+	auth, epoch, closeAuth := newAuthority(cf, adminUser, floorEpoch, met)
 	tok := &cluster.Token{}
 	tok.Set(epoch)
+	cfg.Dial = cluster.FencedDialer(cfg.Dial, auth, tok, met)
 
+	p := &primaryReplication{met: met, closeAuth: closeAuth}
 	var sh *cluster.Shipper
-	ship := cluster.NewShipFS(storage.OSDir{Dir: ckptDir},
-		func(f cluster.Frame) error { return sh.Ship(f) }, nil, met)
-	sh = cluster.NewShipper(cluster.ShipperConfig{
+	// The sink dispatches on mode. Sync mode ships AND barriers every
+	// frame — chain-replication semantics: occurrence records, action-done
+	// records and checkpoint bytes are all standby-durable before the
+	// local append returns, so the replica is always a superset of what
+	// this node completed.
+	sink := func(f cluster.Frame) error {
+		err := sh.Ship(f)
+		if p.ctl != nil {
+			if err == nil {
+				err = sh.Barrier()
+			}
+			p.ctl.ObserveShip(err)
+		}
+		return err
+	}
+	ship := cluster.NewShipFS(storage.OSDir{Dir: ckptDir}, sink, nil, met)
+	p.ship = ship
+	shipCfg := cluster.ShipperConfig{
 		Addr:     cf.ship,
 		Node:     cf.node,
 		Tok:      tok,
 		Snapshot: ship.SnapshotFrames,
-	}, met)
+	}
+	if cf.replMode == cluster.ReplModeSync {
+		shipCfg.SyncWindow = cf.syncWindow
+		shipCfg.AckTimeout = cf.ackTimeout
+	}
+	sh = cluster.NewShipper(shipCfg, met)
+	p.shipper = sh
+	if cf.replMode == cluster.ReplModeSync {
+		p.ctl = cluster.NewSyncController(cluster.SyncConfig{
+			Mode:    cluster.ReplModeSync,
+			Degrade: cf.replDegrade,
+			Grace:   cf.grace,
+			Logf:    log.Printf,
+		}, sh.Barrier, met)
+		cfg.Durability.ShipBarrier = p.ctl.Barrier
+	}
 
 	cfg.Durability.FS = ship
 	cfg.DefinitionSink = func(record []byte) {
@@ -211,12 +325,17 @@ func wirePrimaryReplication(cf *clusterFlags, cfg *agent.Config, ckptDir string,
 	}
 	met.SetRole(cluster.RolePrimary)
 	hb := cluster.NewHeartbeater(led.SystemClock(), cf.hbInterval, tok, sh.Ship, met)
-	return &primaryReplication{shipper: sh, hb: hb, ship: ship, met: met}
+	p.hb = hb
+	return p
 }
 
 // start begins heartbeating (the first beat dials and re-ships the
-// snapshot, so a standby attached later still converges).
-func (p *primaryReplication) start() {
+// snapshot, so a standby attached later still converges) and, in sync
+// mode, gates the agent's readiness on the replication link's health.
+func (p *primaryReplication) start(a *agent.Agent) {
+	if p.ctl != nil {
+		a.SetReadinessGate(p.ctl.Ready)
+	}
 	p.hb.Start()
 	go p.watchLag()
 }
@@ -240,4 +359,5 @@ func (p *primaryReplication) watchLag() {
 func (p *primaryReplication) stop() {
 	p.hb.Stop()
 	p.shipper.Close()
+	p.closeAuth()
 }

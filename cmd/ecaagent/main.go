@@ -14,12 +14,20 @@
 //	         [-site name -ged host:port]
 //	         [-cluster-node name -repl-ship host:port | -repl-listen host:port]
 //	         [-heartbeat-interval 500ms] [-heartbeat-misses 3]
+//	         [-repl-mode async|sync] [-repl-degrade async|halt]
+//	         [-repl-sync-window 4] [-repl-ack-timeout 2s] [-repl-grace 10s]
+//	         [-authority-server host:port] [-authority-lease 5s]
 //
 // The -repl-ship / -repl-listen pair forms a replicated hot pair: the
 // primary streams its durable state (checkpoints, WAL, rule definitions,
 // heartbeats) to the standby, which promotes itself — boots the agent over
-// the replicated directory — when the heartbeats stop. See cluster.go and
-// DESIGN.md §10.
+// the replicated directory — when the heartbeats stop. With
+// -repl-mode sync an occurrence is acknowledged (and its actions launched)
+// only after the standby durably applied its journal record: RPO=0, at
+// the price of a standby round-trip on the occurrence path. -authority-server
+// moves the fencing epoch into a leased row in the shared SQL server so a
+// partitioned old primary's actions are rejected and dead-lettered. See
+// cluster.go and DESIGN.md §10.
 //
 // The -http address serves the observability surface: /metrics (Prometheus
 // text format), /healthz, /stats (JSON), /eventgraph (Graphviz dot), and
@@ -120,10 +128,17 @@ func main() {
 			floorEpoch = runStandbyPhase(&cf, *ckptDir, *httpAddr, reg, cmet)
 		}
 		if cf.ship != "" {
-			repl = wirePrimaryReplication(&cf, &cfg, *ckptDir, floorEpoch, cmet)
+			repl = wirePrimaryReplication(&cf, &cfg, *ckptDir, *admin, floorEpoch, cmet)
 			defer repl.stop()
 		} else if cf.listen != "" {
-			// Promoted with no onward standby: serve as a plain primary.
+			// Promoted with no onward standby: serve as a plain primary,
+			// still fenced — the promotion must supersede the dead
+			// primary's epoch on the shared authority before acting.
+			auth, epoch, closeAuth := newAuthority(&cf, *admin, floorEpoch, cmet)
+			defer closeAuth()
+			tok := &cluster.Token{}
+			tok.Set(epoch)
+			cfg.Dial = cluster.FencedDialer(cfg.Dial, auth, tok, cmet)
 			cmet.SetRole(cluster.RolePrimary)
 		}
 	}
@@ -150,7 +165,7 @@ func main() {
 	if cmet != nil {
 		a.SetRoleFunc(cmet.Role)
 		if repl != nil {
-			repl.start()
+			repl.start(a)
 		}
 	}
 	if err := a.ListenGateway(*listen); err != nil {

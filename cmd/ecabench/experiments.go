@@ -39,6 +39,7 @@ var experiments = map[string]struct {
 	"parallel":    {title: "sharded vs single-lock LED under concurrent independent rule sets", fn: expParallel},
 	"matrix":      {title: "GOMAXPROCS-matrixed sharding ablation + gated hot-path micro-benchmarks (BENCH_PR7.json)", fn: expMatrix, manual: true},
 	"gate":        {title: "perf-regression gate: fresh gated metrics vs committed BENCH_PR7.json", fn: expGate, manual: true},
+	"syncship":    {title: "sync-ship overhead: per-record durable-ack barrier vs fire-and-forget (BENCH_PR9.json)", fn: expSyncShip, manual: true},
 }
 
 func experimentIDs() []string {

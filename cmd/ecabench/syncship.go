@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/activedb/ecaagent/internal/cluster"
+	"github.com/activedb/ecaagent/internal/storage"
+)
+
+// The sync-ship overhead ablation (ISSUE 9): the same WAL-record stream
+// shipped to a real TCP standby twice — fire-and-forget (async, the PR 6
+// default) and with a per-record durable-ack barrier (-repl-mode sync).
+// Async's cost is the write; sync's cost is the write plus a network
+// round-trip plus the standby's fsync, paid on every occurrence before it
+// is acknowledged. The report records both throughputs, the sync
+// per-record ack latency distribution, and the ratio — the price of
+// RPO=0 in concrete units, committed as BENCH_PR9.json.
+
+type syncShipLeg struct {
+	Frames       int     `json:"frames"`
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	// DrainNs is how long after the last Ship the standby's cumulative
+	// ack caught up (async pays it once at the end; sync by construction
+	// drains every record, so it is 0 there).
+	DrainNs int64 `json:"drain_ns"`
+	// Ack latency distribution per record (sync leg only).
+	AckP50Ns int64 `json:"ack_p50_ns,omitempty"`
+	AckP95Ns int64 `json:"ack_p95_ns,omitempty"`
+	AckP99Ns int64 `json:"ack_p99_ns,omitempty"`
+}
+
+type syncShipReport struct {
+	Bench         string      `json:"bench"`
+	GoVersion     string      `json:"go_version"`
+	NumCPU        int         `json:"num_cpu"`
+	Frames        int         `json:"frames"`
+	PayloadBytes  int         `json:"payload_bytes"`
+	SyncWindow    int         `json:"sync_window"`
+	Async         syncShipLeg `json:"async"`
+	Sync          syncShipLeg `json:"sync"`
+	OverheadRatio float64     `json:"overhead_ratio"` // async fps / sync fps
+	Note          string      `json:"note"`
+}
+
+// syncShipStandby stands up a real replication standby on loopback over a
+// throwaway OS directory, returning its address and a cleanup.
+func syncShipStandby() (addr string, cleanup func(), err error) {
+	dir, err := os.MkdirTemp("", "ecabench-syncship-*")
+	if err != nil {
+		return "", nil, err
+	}
+	ap := cluster.NewApplier(storage.OSDir{Dir: dir}, nil)
+	addr, stop, err := cluster.ListenStandby("127.0.0.1:0", ap)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	return addr, func() {
+		stop()
+		ap.Close()
+		os.RemoveAll(dir)
+	}, nil
+}
+
+// syncShipFrames renders the workload: one FrameFileOpen then n
+// FrameFileData appends of payload bytes each — the shape of a WAL
+// occurrence stream.
+func syncShipFrames(n, payload int) []cluster.Frame {
+	body := make([]byte, payload)
+	for i := range body {
+		body[i] = byte('a' + i%26)
+	}
+	frames := make([]cluster.Frame, 0, n+1)
+	frames = append(frames, cluster.Frame{Kind: cluster.FrameFileOpen, Name: "wal-1"})
+	for i := 0; i < n; i++ {
+		frames = append(frames, cluster.Frame{Kind: cluster.FrameFileData, Name: "wal-1", Payload: body})
+	}
+	return frames
+}
+
+func expSyncShip(w io.Writer) error {
+	const (
+		frames  = 4000
+		payload = 64 // a typical encoded occurrence record
+		window  = 4
+	)
+	report := syncShipReport{
+		Bench:        "sync-ship overhead: per-record durable-ack barrier vs fire-and-forget",
+		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
+		Frames:       frames,
+		PayloadBytes: payload,
+		SyncWindow:   window,
+		Note: "loopback TCP, real standby applier over an OS dir; sync pays a round-trip + " +
+			"standby apply per record before the occurrence is acknowledged (RPO=0)",
+	}
+
+	// Async leg: fire-and-forget, then wait for the cumulative ack to
+	// drain so both legs account for the same durable work.
+	{
+		addr, cleanup, err := syncShipStandby()
+		if err != nil {
+			return err
+		}
+		s := cluster.NewShipper(cluster.ShipperConfig{Addr: addr, Node: "bench"}, nil)
+		start := time.Now()
+		for _, f := range syncShipFrames(frames, payload) {
+			if err := s.Ship(f); err != nil {
+				cleanup()
+				return fmt.Errorf("async ship: %w", err)
+			}
+		}
+		shipped := time.Since(start)
+		for {
+			if recs, _ := s.Lag(); recs == 0 {
+				break
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		drained := time.Since(start)
+		s.Close()
+		cleanup()
+		report.Async = syncShipLeg{
+			Frames:       frames,
+			ElapsedNs:    shipped.Nanoseconds(),
+			FramesPerSec: float64(frames) / shipped.Seconds(),
+			DrainNs:      (drained - shipped).Nanoseconds(),
+		}
+		fmt.Fprintf(w, "async: %d frames in %v (%.0f frames/s), final drain %v\n",
+			frames, shipped.Round(time.Microsecond), report.Async.FramesPerSec,
+			(drained - shipped).Round(time.Microsecond))
+	}
+
+	// Sync leg: every record waits for the standby's durable ack, exactly
+	// as the agent's durableSignal does in -repl-mode sync.
+	{
+		addr, cleanup, err := syncShipStandby()
+		if err != nil {
+			return err
+		}
+		s := cluster.NewShipper(cluster.ShipperConfig{
+			Addr: addr, Node: "bench", SyncWindow: window, AckTimeout: 10 * time.Second,
+		}, nil)
+		lats := make([]time.Duration, 0, frames+1)
+		start := time.Now()
+		for _, f := range syncShipFrames(frames, payload) {
+			rec := time.Now()
+			if err := s.Ship(f); err != nil {
+				cleanup()
+				return fmt.Errorf("sync ship: %w", err)
+			}
+			if err := s.Barrier(); err != nil {
+				cleanup()
+				return fmt.Errorf("sync barrier: %w", err)
+			}
+			lats = append(lats, time.Since(rec))
+		}
+		elapsed := time.Since(start)
+		s.Close()
+		cleanup()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) int64 {
+			idx := int(p * float64(len(lats)-1))
+			return lats[idx].Nanoseconds()
+		}
+		report.Sync = syncShipLeg{
+			Frames:       frames,
+			ElapsedNs:    elapsed.Nanoseconds(),
+			FramesPerSec: float64(frames) / elapsed.Seconds(),
+			AckP50Ns:     pct(0.50),
+			AckP95Ns:     pct(0.95),
+			AckP99Ns:     pct(0.99),
+		}
+		fmt.Fprintf(w, "sync:  %d frames in %v (%.0f frames/s), ack p50=%v p95=%v p99=%v\n",
+			frames, elapsed.Round(time.Microsecond), report.Sync.FramesPerSec,
+			time.Duration(report.Sync.AckP50Ns).Round(time.Microsecond),
+			time.Duration(report.Sync.AckP95Ns).Round(time.Microsecond),
+			time.Duration(report.Sync.AckP99Ns).Round(time.Microsecond))
+	}
+
+	report.OverheadRatio = report.Async.FramesPerSec / report.Sync.FramesPerSec
+	fmt.Fprintf(w, "overhead: async ships %.1fx faster; sync buys RPO=0 per record\n", report.OverheadRatio)
+
+	if benchJSONPath != "" {
+		doc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchJSONPath, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", benchJSONPath)
+	}
+	return nil
+}

@@ -1,6 +1,10 @@
 // Cluster failover, end to end, with three real processes: a sqlserverd,
 // a primary ecaagent replicating to a hot standby, and the standby
-// ecaagent itself. The demo installs ECA rules through the primary's
+// ecaagent itself. The primary runs -repl-mode sync — every occurrence is
+// acknowledged only after the standby's durable ack (RPO=0) — and both
+// nodes fence their actions against a leased epoch row in the shared SQL
+// server (-authority-server), so even a surviving zombie primary could
+// not double-fire. The demo installs ECA rules through the primary's
 // gateway, fires them, then SIGKILLs the primary mid-flight and watches
 // the standby promote — recovering the rulebase and the detector state
 // from the replicated checkpoint directory — before verifying that rules
@@ -57,13 +61,16 @@ func main() {
 		"-server", serverAddr, "-listen", gwB, "-http", httpB, "-notify", notifyAddr,
 		"-cluster-node", "bravo", "-repl-listen", replAddr,
 		"-checkpoint-dir", filepath.Join(work, "bravo"),
+		"-authority-server", serverAddr, "-authority-lease", "2s",
 		"-heartbeat-interval", "300ms", "-heartbeat-misses", "3", "-resync", "2s")
 	defer stop(standby)
 
-	fmt.Println("--- process 3/3: primary agent shipping to the standby ---")
+	fmt.Println("--- process 3/3: primary agent sync-shipping to the standby ---")
 	primary := spawn("primary", agentBin,
 		"-server", serverAddr, "-listen", gwA, "-http", httpA, "-notify", notifyAddr,
 		"-cluster-node", "alpha", "-repl-ship", replAddr,
+		"-repl-mode", "sync", "-repl-degrade", "async", "-repl-grace", "5s",
+		"-authority-server", serverAddr, "-authority-lease", "2s",
 		"-checkpoint-dir", filepath.Join(work, "alpha"),
 		"-checkpoint-interval", "2s", "-wal-sync", "always",
 		"-heartbeat-interval", "300ms", "-resync", "2s")
@@ -115,7 +122,8 @@ func main() {
 	}
 	fmt.Println("7 alerts total — the crash-free oracle count, including a pair straddling the failover")
 
-	for _, line := range metricsLines(httpB, "eca_cluster_role", "eca_cluster_promotions_total") {
+	for _, line := range metricsLines(httpB, "eca_cluster_role", "eca_cluster_promotions_total",
+		"eca_cluster_repl_degraded", "eca_cluster_auth_renewals_total") {
 		fmt.Println("metric:", line)
 	}
 	fmt.Println("cluster failover demo complete")

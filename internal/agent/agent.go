@@ -169,6 +169,11 @@ type Agent struct {
 	// roleFn, when set, names this node's cluster role ("primary",
 	// "standby", ...) for the readiness probe; nil means standalone.
 	roleFn atomic.Pointer[func() string]
+	// gateFn, when set, is an extra readiness veto consulted after
+	// recovery completes (the cluster layer wires replication health in:
+	// a sync primary whose standby is gone past the grace window must
+	// fail its probe even though it is otherwise serving).
+	gateFn atomic.Pointer[func() (string, bool)]
 
 	// stopCh stops background goroutines; bgWG tracks them.
 	stopCh   chan struct{}
@@ -381,14 +386,33 @@ func (a *Agent) SetRoleFunc(fn func() string) {
 	a.roleFn.Store(&fn)
 }
 
+// SetReadinessGate installs an extra readiness veto (nil removes it).
+// When the gate returns ok=false, Readiness reports its state string and
+// not-ready regardless of role — the hook the cluster layer uses to fail
+// /readyz on a degraded or halted sync-replication link. The function
+// must be safe for concurrent calls.
+func (a *Agent) SetReadinessGate(fn func() (state string, ok bool)) {
+	if fn == nil {
+		a.gateFn.Store(nil)
+		return
+	}
+	a.gateFn.Store(&fn)
+}
+
 // Readiness resolves the state string and verdict the /readyz probe
-// serves: ("recovering", false) until startup recovery finishes, then the
-// cluster role — ready only when this node is the one that should be
-// ingesting ("primary", or "ok" standalone). A standby is alive but not
-// ready: routers must hold its traffic until promotion flips the role.
+// serves: ("recovering", false) until startup recovery finishes, then any
+// installed gate's veto (replication health), then the cluster role —
+// ready only when this node is the one that should be ingesting
+// ("primary", or "ok" standalone). A standby is alive but not ready:
+// routers must hold its traffic until promotion flips the role.
 func (a *Agent) Readiness() (state string, ready bool) {
 	if !a.Ready() {
 		return "recovering", false
+	}
+	if fn := a.gateFn.Load(); fn != nil {
+		if state, ok := (*fn)(); !ok {
+			return state, false
+		}
 	}
 	if fn := a.roleFn.Load(); fn != nil {
 		role := (*fn)()

@@ -53,6 +53,15 @@ type Durability struct {
 	GroupInterval time.Duration
 	// Crash injects named crash points (tests only).
 	Crash *faults.CrashSet
+	// ShipBarrier, when set, gates occurrence acknowledgement on
+	// replication: it is called after the occurrence's WAL record is
+	// locally durable (and, via a shipping FS, already handed to the
+	// replication stream) and before the occurrence is signalled into the
+	// detector. A nil return acknowledges; an error withholds the
+	// occurrence — it stays journaled, is counted, and will surface on
+	// the standby (or on this node's own restart) instead of here. The
+	// cluster layer wires its synchronous-ship barrier in.
+	ShipBarrier func() error
 }
 
 // durableState is the agent's checkpoint/WAL machinery.
@@ -62,6 +71,7 @@ type durableState struct {
 	crash    *faults.CrashSet
 	syncMode string
 	groupInt time.Duration
+	barrier  func() error // Durability.ShipBarrier; nil when unreplicated
 
 	mu        sync.Mutex
 	syncCond  *sync.Cond              // group-commit waiters
@@ -88,6 +98,7 @@ func newDurableState(a *Agent, cfg Durability) *durableState {
 		crash:    cfg.Crash,
 		syncMode: cfg.WALSync,
 		groupInt: cfg.GroupInterval,
+		barrier:  cfg.ShipBarrier,
 		ledger:   make(map[string]*ledgerEntry),
 	}
 	if d.fs == nil {
@@ -580,7 +591,15 @@ func (a *Agent) resumePending() {
 
 // durableSignal journals a tracked occurrence (stamping its detection
 // time first, so replay reproduces identical occurrences and action
-// keys) and then signals it. Callers hold a.rec.mu.
+// keys) and then signals it. With a ShipBarrier wired, the signal — and
+// therefore any action launch and the Forward acknowledgement — waits
+// for the standby's durable ack first: everything downstream of this
+// point is guaranteed recoverable from the replica, which is the RPO=0
+// contract the sync chaos suite asserts. A failed barrier withholds the
+// occurrence: it is already journaled locally (and usually already on
+// the standby, just unconfirmed), so replay or the shadow-table resync
+// will surface it exactly once on whichever node recovers. Callers hold
+// a.rec.mu.
 func (a *Agent) durableSignal(p led.Primitive) {
 	if d := a.dur; d != nil {
 		if p.At.IsZero() {
@@ -589,6 +608,13 @@ func (a *Agent) durableSignal(p led.Primitive) {
 		d.crash.Hit("ingest.preWAL")
 		d.appendOcc(p)
 		d.crash.Hit("ingest.postWAL")
+		if d.barrier != nil {
+			if err := d.barrier(); err != nil {
+				d.met.withheld.Inc()
+				a.cfg.Logf("agent: occurrence %s vno %d withheld: replication barrier: %v", p.Event, p.VNo, err)
+				return
+			}
+		}
 	}
 	a.signal(p)
 }

@@ -1,0 +1,84 @@
+package agent
+
+import (
+	"sort"
+
+	"github.com/activedb/ecaagent/internal/storage"
+)
+
+// DurableOccurrences inspects a durability directory without booting an
+// agent over it: it decodes the newest valid checkpoint, folds every
+// journal generation at or after it, and reports the highest durable vNo
+// per event. torn reports whether any journal ended in a torn tail (the
+// durable prefix before the tear is still counted — the recovery
+// contract is "prefer the prefix, report the cut", and this is how tests
+// observe both halves).
+//
+// The cluster chaos suite uses it as the RPO=0 oracle: after killing a
+// sync-mode primary, every occurrence it acknowledged must already
+// satisfy vno <= wm[event] on the standby's replica directory — checked
+// on the raw files, before any promotion, replay, or resync could paper
+// over a loss.
+func DurableOccurrences(fs storage.FS) (wm map[string]int, torn bool, err error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, false, err
+	}
+	var ckptEpochs, walEpochs []uint64
+	for _, name := range names {
+		prefix, e, ok := parseGenName(name)
+		if !ok {
+			continue
+		}
+		switch prefix {
+		case "ckpt":
+			ckptEpochs = append(ckptEpochs, e)
+		case "wal":
+			walEpochs = append(walEpochs, e)
+		}
+	}
+	sort.Slice(ckptEpochs, func(i, j int) bool { return ckptEpochs[i] > ckptEpochs[j] })
+	sort.Slice(walEpochs, func(i, j int) bool { return walEpochs[i] < walEpochs[j] })
+
+	wm = make(map[string]int)
+	var baseEpoch uint64
+	for _, e := range ckptEpochs { // newest valid checkpoint wins
+		data, rerr := fs.ReadFile(ckptName(e))
+		if rerr != nil {
+			continue
+		}
+		ck, embedded, derr := decodeCheckpoint(data)
+		if derr != nil || embedded != e {
+			continue
+		}
+		for ev, w := range ck.Watermarks {
+			wm[ev] = w.Last
+		}
+		baseEpoch = e
+		break
+	}
+	for _, e := range walEpochs {
+		if e < baseEpoch {
+			continue // pruned generations may linger; the checkpoint covers them
+		}
+		data, rerr := fs.ReadFile(walName(e))
+		if rerr != nil {
+			continue
+		}
+		embedded, recs, t, perr := parseWAL(data)
+		if perr != nil || embedded != e {
+			torn = true // unusable journal: whatever it held is cut
+			continue
+		}
+		torn = torn || t
+		for _, r := range recs {
+			if r.kind != walOccKind {
+				continue
+			}
+			if r.vno > wm[r.event] {
+				wm[r.event] = r.vno
+			}
+		}
+	}
+	return wm, torn, nil
+}

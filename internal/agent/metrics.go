@@ -142,6 +142,7 @@ type recoveryMetrics struct {
 	replayed    *obs.Counter
 	resumed     *obs.Counter
 	deduped     *obs.Counter
+	withheld    *obs.Counter
 	recoverySec *obs.Histogram
 }
 
@@ -164,6 +165,8 @@ func (d *durableState) initRecoveryMetrics(reg *obs.Registry) {
 		"Rule actions re-launched at recovery because no done record covered them.")
 	d.met.deduped = reg.Counter("eca_recovery_deduped_actions_total",
 		"Rule firings suppressed by the action ledger (already done or already claimed).")
+	d.met.withheld = reg.Counter("eca_recovery_withheld_occurrences_total",
+		"Occurrences journaled but not acknowledged because the replication barrier failed.")
 	d.met.recoverySec = reg.Histogram("eca_recovery_seconds",
 		"Startup recovery latency: checkpoint restore, journal replay, resume and gap fill, seconds.", nil)
 	reg.GaugeFunc("eca_recovery_checkpoint_age_seconds",

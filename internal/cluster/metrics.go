@@ -25,6 +25,15 @@ type Metrics struct {
 	ReplLagBytes      *obs.Gauge
 	ReplLagRecords    *obs.Gauge
 
+	ReplDegraded     *obs.Gauge
+	ReplHalted       *obs.Gauge
+	ReplSyncBarriers *obs.Counter
+	ReplSyncTimeouts *obs.Counter
+
+	AuthRenewals    *obs.Counter
+	AuthRenewFailed *obs.Counter
+	AuthLeaseLost   *obs.Counter
+
 	Routed       *obs.CounterVec // per destination node
 	RouteRetries *obs.Counter
 	RouteDLQ     *obs.Counter
@@ -62,6 +71,20 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Bytes accepted for shipping but not yet acknowledged durable on the standby."),
 		ReplLagRecords: reg.Gauge("eca_cluster_repl_lag_records",
 			"Frames accepted for shipping but not yet acknowledged durable on the standby."),
+		ReplDegraded: reg.Gauge("eca_cluster_repl_degraded",
+			"1 while synchronous replication is suspended (standby not acknowledging)."),
+		ReplHalted: reg.Gauge("eca_cluster_repl_halted",
+			"1 after the halt degradation policy tripped (occurrences withheld)."),
+		ReplSyncBarriers: reg.Counter("eca_cluster_repl_sync_barriers_total",
+			"Occurrence acknowledgements that waited on the synchronous-ship barrier."),
+		ReplSyncTimeouts: reg.Counter("eca_cluster_repl_sync_timeouts_total",
+			"Synchronous-ship barriers that failed (timeout or dead link)."),
+		AuthRenewals: reg.Counter("eca_cluster_auth_renewals_total",
+			"Successful epoch lease renewals against the SQL authority."),
+		AuthRenewFailed: reg.Counter("eca_cluster_auth_renew_failures_total",
+			"Epoch lease renewal attempts that failed (server unreachable or CAS miss)."),
+		AuthLeaseLost: reg.Counter("eca_cluster_auth_lease_lost_total",
+			"Times this node discovered its epoch lease was superseded."),
 		Routed: reg.CounterVec("eca_cluster_routed_total",
 			"Notifications forwarded, by destination node.", "node"),
 		RouteRetries: reg.Counter("eca_cluster_route_retries_total",

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -41,6 +42,15 @@ type ShipperConfig struct {
 	// deadline that keeps a hung standby from wedging the primary's
 	// durability path (default 2s).
 	WriteTimeout time.Duration
+	// SyncWindow bounds the in-flight (shipped, unacknowledged) frames in
+	// synchronous mode: Ship blocks while the window is full, and Barrier
+	// blocks until it is empty. 0 keeps the PR 6 behavior — fire and
+	// forget, acks only feed the lag gauges.
+	SyncWindow int
+	// AckTimeout bounds each synchronous wait (window admission and
+	// Barrier) — the per-record deadline of the sync-ship contract
+	// (default 2s).
+	AckTimeout time.Duration
 }
 
 func (c ShipperConfig) withDefaults() ShipperConfig {
@@ -50,8 +60,15 @@ func (c ShipperConfig) withDefaults() ShipperConfig {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 2 * time.Second
 	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 2 * time.Second
+	}
 	return c
 }
+
+// ErrAckTimeout reports that the standby failed to acknowledge within the
+// shipper's AckTimeout — the trigger for the sync degradation ladder.
+var ErrAckTimeout = errors.New("cluster: standby acknowledgement timed out")
 
 // Shipper streams frames to one standby over TCP.
 type Shipper struct {
@@ -59,18 +76,21 @@ type Shipper struct {
 	met *Metrics
 
 	mu      sync.Mutex
-	conn    net.Conn // nil when disconnected; guarded by mu
-	closed  bool     // guarded by mu
-	sent    uint64   // frames written this connection; guarded by mu
-	acked   uint64   // frames acknowledged this connection; guarded by mu
-	pending []int    // payload size of each unacked frame; guarded by mu
-	lagB    int      // total unacked payload bytes; guarded by mu
+	ackCond *sync.Cond // signalled on ack progress / conn turnover / close
+	conn    net.Conn   // nil when disconnected; guarded by mu
+	closed  bool       // guarded by mu
+	sent    uint64     // frames written this connection; guarded by mu
+	acked   uint64     // frames acknowledged this connection; guarded by mu
+	pending []int      // payload size of each unacked frame; guarded by mu
+	lagB    int        // total unacked payload bytes; guarded by mu
 }
 
 // NewShipper returns a disconnected shipper; the first Ship dials.
 // met may be nil.
 func NewShipper(cfg ShipperConfig, met *Metrics) *Shipper {
-	return &Shipper{cfg: cfg.withDefaults(), met: met}
+	s := &Shipper{cfg: cfg.withDefaults(), met: met}
+	s.ackCond = sync.NewCond(&s.mu)
+	return s
 }
 
 // Ship sends one frame, dialing (and snapshot re-shipping) first when
@@ -101,7 +121,65 @@ func (s *Shipper) Ship(f Frame) error {
 			return nil
 		}
 	}
+	if s.cfg.SyncWindow > 0 {
+		if err := s.awaitLocked(func() bool { return len(s.pending) < s.cfg.SyncWindow }); err != nil {
+			return err
+		}
+	}
 	return s.writeLocked(f)
+}
+
+// Barrier blocks until every frame shipped so far has been acknowledged
+// by the standby (or the ack deadline passes). It is the durable-ack
+// gate of synchronous mode: when it returns nil, everything Ship has
+// accepted on this connection — including the caller's own WAL record —
+// is fsynced in the standby's replica directory.
+func (s *Shipper) Barrier() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cluster: shipper closed")
+	}
+	if s.conn == nil {
+		return fmt.Errorf("cluster: sync barrier: not connected to standby")
+	}
+	return s.awaitLocked(func() bool { return len(s.pending) == 0 })
+}
+
+// awaitLocked blocks until pred holds, failing on close, connection
+// turnover (the pending frames it was waiting on are gone — the standby
+// never durably confirmed them), or the ack deadline. Caller holds s.mu;
+// the lock is released while waiting.
+func (s *Shipper) awaitLocked(pred func() bool) error {
+	if pred() {
+		return nil
+	}
+	conn := s.conn
+	timedOut := false
+	// Wall clock, not the Clock seam: like the net.Conn deadlines above,
+	// the ack deadline is an I/O timeout against a real peer, not logic
+	// the deterministic tests need to drive.
+	timer := time.AfterFunc(s.cfg.AckTimeout, func() { //ecavet:allow nowallclock ack deadline is an I/O timeout like the conn deadlines
+		s.mu.Lock()
+		timedOut = true
+		s.ackCond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	for !pred() {
+		if s.closed {
+			return fmt.Errorf("cluster: shipper closed")
+		}
+		if s.conn != conn {
+			return fmt.Errorf("cluster: connection lost before standby acknowledged")
+		}
+		if timedOut {
+			s.dropConnLocked() // the stream is suspect; force a snapshot re-ship
+			return fmt.Errorf("%w after %v (%d frames in flight)", ErrAckTimeout, s.cfg.AckTimeout, len(s.pending))
+		}
+		s.ackCond.Wait()
+	}
+	return nil
 }
 
 // frameInSnapshot reports whether a frame kind describes FS state that a
@@ -188,6 +266,7 @@ func (s *Shipper) drainAcks(conn net.Conn) {
 				s.acked++
 			}
 			s.gaugeLocked()
+			s.ackCond.Broadcast()
 		}
 		s.mu.Unlock()
 	}
@@ -220,6 +299,7 @@ func (s *Shipper) dropConnLocked() {
 		s.conn.Close()
 		s.conn = nil
 	}
+	s.ackCond.Broadcast() // waiters must observe the turnover
 }
 
 // Lag reports unacknowledged frames and payload bytes on the current
@@ -236,6 +316,7 @@ func (s *Shipper) Close() error {
 	defer s.mu.Unlock()
 	s.closed = true
 	s.dropConnLocked()
+	s.ackCond.Broadcast()
 	return nil
 }
 

@@ -1,0 +1,66 @@
+package faults
+
+// Dir names one direction of a Duplex link.
+type Dir int
+
+const (
+	// AtoB is the forward direction (first deliver function).
+	AtoB Dir = iota
+	// BtoA is the reverse direction (second deliver function).
+	BtoA
+)
+
+func (d Dir) String() string {
+	if d == AtoB {
+		return "a->b"
+	}
+	return "b->a"
+}
+
+// Duplex couples two Pipes into one bidirectional link with independent
+// per-direction fault modes. A symmetric partition cuts both pipes; an
+// asymmetric one cuts a single direction — the zombie-primary topology
+// the failover suite needs, where the old primary's traffic (heartbeats,
+// replication, lease renewals) goes dark while it still hears enough of
+// the world to believe it leads. Per-direction latency likewise models
+// an asymmetrically congested link.
+type Duplex struct {
+	pipes [2]*Pipe
+}
+
+// NewDuplex builds a link from one config, deriving a distinct seed for
+// the reverse direction so the two fault streams are independent but the
+// whole link stays reproducible from cfg.Seed.
+func NewDuplex(cfg PipeConfig, deliverAtoB, deliverBtoA func(msg string)) *Duplex {
+	rev := cfg
+	rev.Seed = cfg.Seed ^ 0x5bd1e995 // distinct, still deterministic
+	return &Duplex{pipes: [2]*Pipe{NewPipe(cfg, deliverAtoB), NewPipe(rev, deliverBtoA)}}
+}
+
+// Pipe exposes one direction for the full Pipe API.
+func (d *Duplex) Pipe(dir Dir) *Pipe { return d.pipes[dir] }
+
+// Send puts one message through the given direction.
+func (d *Duplex) Send(dir Dir, msg string) { d.pipes[dir].Send(msg) }
+
+// SetPartitioned partitions one direction only — the asymmetric cut.
+func (d *Duplex) SetPartitioned(dir Dir, on bool) { d.pipes[dir].SetPartitioned(on) }
+
+// SetPartitionedBoth cuts or heals the whole link symmetrically.
+func (d *Duplex) SetPartitionedBoth(on bool) {
+	d.pipes[AtoB].SetPartitioned(on)
+	d.pipes[BtoA].SetPartitioned(on)
+}
+
+// SetLatency switches latency injection for one direction only.
+func (d *Duplex) SetLatency(dir Dir, on bool) { d.pipes[dir].SetLatency(on) }
+
+// ReleaseHeld delivers up to n delayed messages on one direction,
+// reporting how many went out.
+func (d *Duplex) ReleaseHeld(dir Dir, n int) int { return d.pipes[dir].ReleaseHeld(n) }
+
+// Held reports how many messages one direction is currently delaying.
+func (d *Duplex) Held(dir Dir) int { return d.pipes[dir].Held() }
+
+// Cut reports how many messages one direction's partition discarded.
+func (d *Duplex) Cut(dir Dir) int { return d.pipes[dir].Cut() }

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// An asymmetric partition must cut exactly one direction: A's traffic
+// vanishes (counted, never delivered late) while B's keeps flowing.
+func TestDuplexAsymmetricPartition(t *testing.T) {
+	var atob, btoa []string
+	d := NewDuplex(PipeConfig{Seed: 1},
+		func(m string) { atob = append(atob, m) },
+		func(m string) { btoa = append(btoa, m) })
+
+	d.Send(AtoB, "hb-1")
+	d.Send(BtoA, "ack-1")
+
+	d.SetPartitioned(AtoB, true)
+	d.Send(AtoB, "hb-2")
+	d.Send(AtoB, "hb-3")
+	d.Send(BtoA, "ack-2")
+
+	if want := []string{"hb-1"}; !reflect.DeepEqual(atob, want) {
+		t.Fatalf("a->b delivered %v, want %v", atob, want)
+	}
+	if want := []string{"ack-1", "ack-2"}; !reflect.DeepEqual(btoa, want) {
+		t.Fatalf("b->a delivered %v, want %v", btoa, want)
+	}
+	if got := d.Cut(AtoB); got != 2 {
+		t.Fatalf("a->b cut = %d, want 2", got)
+	}
+	if got := d.Cut(BtoA); got != 0 {
+		t.Fatalf("b->a cut = %d, want 0", got)
+	}
+
+	// Healing restores the direction but never resurrects what it ate.
+	d.SetPartitioned(AtoB, false)
+	d.Send(AtoB, "hb-4")
+	if want := []string{"hb-1", "hb-4"}; !reflect.DeepEqual(atob, want) {
+		t.Fatalf("a->b after heal delivered %v, want %v", atob, want)
+	}
+}
+
+// Per-direction latency must hold one direction's messages in order while
+// the other stays prompt, with step-by-step release.
+func TestDuplexPerDirectionLatency(t *testing.T) {
+	var atob, btoa []string
+	d := NewDuplex(PipeConfig{Seed: 2},
+		func(m string) { atob = append(atob, m) },
+		func(m string) { btoa = append(btoa, m) })
+
+	d.SetLatency(BtoA, true)
+	d.Send(AtoB, "req-1")
+	d.Send(BtoA, "resp-1")
+	d.Send(BtoA, "resp-2")
+	d.Send(AtoB, "req-2")
+
+	if want := []string{"req-1", "req-2"}; !reflect.DeepEqual(atob, want) {
+		t.Fatalf("a->b delivered %v, want %v", atob, want)
+	}
+	if len(btoa) != 0 || d.Held(BtoA) != 2 {
+		t.Fatalf("b->a delivered %v held %d, want nothing delivered, 2 held", btoa, d.Held(BtoA))
+	}
+
+	if n := d.ReleaseHeld(BtoA, 1); n != 1 {
+		t.Fatalf("ReleaseHeld(1) = %d, want 1", n)
+	}
+	if want := []string{"resp-1"}; !reflect.DeepEqual(btoa, want) {
+		t.Fatalf("b->a after partial release %v, want %v", btoa, want)
+	}
+
+	d.SetLatency(BtoA, false) // switching off flushes the rest in order
+	if want := []string{"resp-1", "resp-2"}; !reflect.DeepEqual(btoa, want) {
+		t.Fatalf("b->a after release %v, want %v", btoa, want)
+	}
+	if d.Held(BtoA) != 0 {
+		t.Fatalf("b->a still holding %d", d.Held(BtoA))
+	}
+}
+
+// SetPartitionedBoth is the symmetric cut: both directions go dark.
+func TestDuplexSymmetricPartition(t *testing.T) {
+	var atob, btoa []string
+	d := NewDuplex(PipeConfig{Seed: 3},
+		func(m string) { atob = append(atob, m) },
+		func(m string) { btoa = append(btoa, m) })
+	d.SetPartitionedBoth(true)
+	d.Send(AtoB, "x")
+	d.Send(BtoA, "y")
+	if len(atob) != 0 || len(btoa) != 0 {
+		t.Fatalf("partitioned link delivered a->b %v b->a %v", atob, btoa)
+	}
+	if d.Cut(AtoB) != 1 || d.Cut(BtoA) != 1 {
+		t.Fatalf("cut counts a->b %d b->a %d, want 1/1", d.Cut(AtoB), d.Cut(BtoA))
+	}
+}

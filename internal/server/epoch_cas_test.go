@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/client"
+)
+
+// The SQL-backed fencing authority (cluster.SQLAuthority) rests on one
+// property of this server: a guarded update — `update ... where epoch = N`
+// — is a compare-and-swap. When two would-be primaries race the same
+// read epoch over real connections, exactly one update may report a row
+// affected; the loser must see 0 and retry against the new value. This
+// pins that property where it is provided, under concurrency, over TCP.
+func TestEpochGuardedUpdateIsCompareAndSwap(t *testing.T) {
+	srv := startServer(t)
+	seed, err := client.Connect(srv.Addr(), client.Options{User: "sa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	if err := seed.MustExec("create database ecacluster"); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.MustExec("use ecacluster create table syseca_epoch (epoch int null, holder varchar(64) null, expires int null)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.MustExec("use ecacluster insert syseca_epoch values (0, '', 0)"); err != nil {
+		t.Fatal(err)
+	}
+
+	const racers = 8
+	const rounds = 5
+	for round := 0; round < rounds; round++ {
+		conns := make([]*client.Conn, racers)
+		for i := range conns {
+			c, err := client.Connect(srv.Addr(), client.Options{User: "sa", Database: "ecacluster"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			conns[i] = c
+		}
+
+		// Everyone reads the same current epoch, then races the same CAS.
+		rs, err := conns[0].Query("select epoch from syseca_epoch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Rows) != 1 {
+			t.Fatalf("round %d: %d epoch rows, want 1", round, len(rs.Rows))
+		}
+		cur := rs.Rows[0][0].Int()
+
+		affected := make([]int, racers)
+		var wg sync.WaitGroup
+		for i, c := range conns {
+			wg.Add(1)
+			go func(i int, c *client.Conn) {
+				defer wg.Done()
+				results, err := c.Exec(fmt.Sprintf(
+					"update syseca_epoch set epoch = %d, holder = 'node-%d', expires = 0 where epoch = %d",
+					cur+1, i, cur))
+				if err != nil {
+					t.Errorf("racer %d: %v", i, err)
+					return
+				}
+				for _, r := range results {
+					affected[i] += r.RowsAffected
+				}
+			}(i, c)
+		}
+		wg.Wait()
+
+		winners := 0
+		for i, n := range affected {
+			switch n {
+			case 0:
+			case 1:
+				winners++
+			default:
+				t.Fatalf("round %d: racer %d affected %d rows", round, i, n)
+			}
+		}
+		if winners != 1 {
+			t.Fatalf("round %d: %d CAS winners for epoch %d -> %d, want exactly 1 (affected: %v)",
+				round, winners, cur, cur+1, affected)
+		}
+
+		// The row advanced exactly once and names the single winner.
+		rs, err = conns[0].Query("select epoch from syseca_epoch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rs.Rows[0][0].Int(); got != cur+1 {
+			t.Fatalf("round %d: epoch after race = %d, want %d", round, got, cur+1)
+		}
+	}
+}
