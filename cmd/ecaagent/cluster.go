@@ -251,6 +251,7 @@ type primaryReplication struct {
 	ctl       *cluster.SyncController // nil in async mode
 	met       *cluster.Metrics
 	closeAuth func()
+	done      chan struct{} // closed by stop; ends watchLag
 }
 
 // wirePrimaryReplication tees cfg.Durability through a ShipFS streaming to
@@ -276,7 +277,7 @@ func wirePrimaryReplication(cf *clusterFlags, cfg *agent.Config, ckptDir, adminU
 	tok.Set(epoch)
 	cfg.Dial = cluster.FencedDialer(cfg.Dial, auth, tok, met)
 
-	p := &primaryReplication{met: met, closeAuth: closeAuth}
+	p := &primaryReplication{met: met, closeAuth: closeAuth, done: make(chan struct{})}
 	var sh *cluster.Shipper
 	// The sink dispatches on mode. Sync mode ships AND barriers every
 	// frame — chain-replication semantics: occurrence records, action-done
@@ -344,7 +345,14 @@ func (p *primaryReplication) start(a *agent.Agent) {
 // detached standby without scraping metrics.
 func (p *primaryReplication) watchLag() {
 	healthy := true
-	for range time.Tick(5 * time.Second) {
+	t := time.NewTicker(5 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+		}
 		err := p.ship.Err()
 		if err != nil && healthy {
 			log.Printf("ecaagent: replication degraded (local durability unaffected): %v", err)
@@ -357,6 +365,7 @@ func (p *primaryReplication) watchLag() {
 }
 
 func (p *primaryReplication) stop() {
+	close(p.done)
 	p.hb.Stop()
 	p.shipper.Close()
 	p.closeAuth()

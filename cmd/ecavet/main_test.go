@@ -28,7 +28,10 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 // TestSuiteNames pins the analyzer names the waiver syntax depends on:
 // renaming one silently orphans every //ecavet:allow referring to it.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"nowallclock", "fsyncorder", "lockguard", "syncerr", "obsreg"}
+	want := []string{
+		"nowallclock", "fsyncorder", "lockguard", "syncerr", "obsreg",
+		"fencedwrite", "poolleak", "goroleak", "iodeadline", "waiverstale",
+	}
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
 	}

@@ -189,6 +189,7 @@ func (a *Agent) DeliverBatchBytes(data []byte) {
 		pb, ok := scr.batches[key]
 		if !ok {
 			pb = getPrimBatch()
+			//ecavet:allow poolleak ownership transfers with the batch: submit hands it to the shard worker, which recycles it via putPrimBatch
 			scr.batches[key] = pb
 			scr.keys = append(scr.keys, key)
 		}

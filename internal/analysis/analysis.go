@@ -40,6 +40,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the cross-package fact store (never nil): facts exported
+	// by this analyzer in dependency packages are visible through
+	// LookupFact, and ExportFact publishes for dependents. See facts.go.
+	Facts *Facts
 
 	report func(Diagnostic)
 }
@@ -72,9 +76,21 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Run executes the analyzers over pkg and returns the raw diagnostics in
-// position order. Waivers are not applied — see RunWithWaivers.
+// Run executes the analyzers over pkg with a fresh fact store and
+// returns the raw diagnostics in position order. Waivers are not applied
+// — see RunWithWaivers. Cross-package facts need a driver that threads a
+// store between packages; use RunFacts for that.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunFacts(pkg, analyzers, NewFacts())
+}
+
+// RunFacts executes the analyzers over pkg against the given fact store:
+// facts dependency packages exported are visible to the analyzers, and
+// facts they export land in the store for dependents. The raw
+// diagnostics come back in position order; pass them to ApplyWaivers (or
+// discard them — a facts-only pass over a dependency) as the driver
+// requires.
+func RunFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -83,6 +99,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
@@ -96,10 +113,17 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // RunWithWaivers executes the analyzers and applies the waiver protocol
 // (//ecavet:allow name reason): suppressed findings vanish, while malformed waivers,
 // waivers naming unknown analyzers and stale waivers (suppressing
-// nothing) are themselves reported. This is the driver entry point — raw
-// Run is for analysistest fixtures that assert pre-waiver findings.
+// nothing) are themselves reported under the waiverstale analyzer. This
+// is the driver entry point — raw Run is for analysistest fixtures that
+// assert pre-waiver findings.
 func RunWithWaivers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	diags, err := Run(pkg, analyzers)
+	return RunFactsWithWaivers(pkg, analyzers, NewFacts())
+}
+
+// RunFactsWithWaivers is RunWithWaivers with a driver-supplied fact
+// store.
+func RunFactsWithWaivers(pkg *Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error) {
+	diags, err := RunFacts(pkg, analyzers, facts)
 	if err != nil {
 		return nil, err
 	}

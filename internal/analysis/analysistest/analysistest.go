@@ -43,8 +43,8 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 
 // RunWithWaivers analyzes the fixture packages with the full waiver
 // pipeline: //ecavet:allow comments suppress findings, and malformed,
-// unknown-analyzer and stale waivers surface as "ecavet" diagnostics. The
-// want comments assert the post-waiver output.
+// unknown-analyzer and stale waivers surface as waiverstale diagnostics.
+// The want comments assert the post-waiver output.
 func RunWithWaivers(t *testing.T, testdata string, analyzers []*analysis.Analyzer, paths ...string) {
 	t.Helper()
 	run(t, testdata, analyzers, paths, true)
@@ -52,15 +52,15 @@ func RunWithWaivers(t *testing.T, testdata string, analyzers []*analysis.Analyze
 
 func run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, paths []string, waivers bool) {
 	t.Helper()
-	ld := newLoader(t, testdata)
+	ld := newLoader(t, testdata, analyzers)
 	for _, path := range paths {
 		pkg := ld.load(path)
 		var diags []analysis.Diagnostic
 		var err error
 		if waivers {
-			diags, err = analysis.RunWithWaivers(pkg, analyzers)
+			diags, err = analysis.RunFactsWithWaivers(pkg, analyzers, ld.facts)
 		} else {
-			diags, err = analysis.Run(pkg, analyzers)
+			diags, err = analysis.RunFacts(pkg, analyzers, ld.facts)
 		}
 		if err != nil {
 			t.Fatalf("analyzing %s: %v", path, err)
@@ -70,23 +70,30 @@ func run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, paths []
 }
 
 // loader resolves fixture packages from testdata/src and everything else
-// from toolchain export data.
+// from toolchain export data. As each fixture package loads, the
+// analyzers under test get a facts-only pass over it into the shared
+// store — the recursion through loaderImporter loads imports first, so
+// facts flow in dependency order exactly as in the real drivers.
 type loader struct {
-	t        *testing.T
-	src      string // testdata/src
-	fset     *token.FileSet
-	pkgs     map[string]*analysis.Package
-	checking map[string]bool
-	std      types.ImporterFrom
+	t         *testing.T
+	src       string // testdata/src
+	fset      *token.FileSet
+	pkgs      map[string]*analysis.Package
+	checking  map[string]bool
+	std       types.ImporterFrom
+	analyzers []*analysis.Analyzer
+	facts     *analysis.Facts
 }
 
-func newLoader(t *testing.T, testdata string) *loader {
+func newLoader(t *testing.T, testdata string, analyzers []*analysis.Analyzer) *loader {
 	ld := &loader{
-		t:        t,
-		src:      filepath.Join(testdata, "src"),
-		fset:     token.NewFileSet(),
-		pkgs:     make(map[string]*analysis.Package),
-		checking: make(map[string]bool),
+		t:         t,
+		src:       filepath.Join(testdata, "src"),
+		fset:      token.NewFileSet(),
+		pkgs:      make(map[string]*analysis.Package),
+		checking:  make(map[string]bool),
+		analyzers: analyzers,
+		facts:     analysis.NewFacts(),
 	}
 	ld.std = analysis.NewExportImporter(ld.fset, nil, stdExportFiles)
 	return ld
@@ -131,6 +138,12 @@ func (ld *loader) load(path string) *analysis.Package {
 	}
 	p := &analysis.Package{Path: path, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
 	ld.pkgs[path] = p
+	// Facts-only pass: exported facts become visible to fixture packages
+	// that import this one. The pass over the target package in run() will
+	// re-derive the same facts — map puts are idempotent.
+	if _, err := analysis.RunFacts(p, ld.analyzers, ld.facts); err != nil {
+		ld.t.Fatalf("facts pass over fixture %s: %v", path, err)
+	}
 	return p
 }
 

@@ -1,0 +1,332 @@
+// Package fencedwrite keeps upstream SQL effects behind the fencing
+// epoch. The cluster's split-brain defence (DESIGN.md, PR 6) is a
+// protocol, not a type: a zombie ex-primary is only harmless if every
+// Exec that can reach the shared SQL server first validates the node's
+// epoch token against the authority. One raw Exec on a replication or
+// authority path re-opens the double-fire window the chaos suite exists
+// to close.
+//
+// A "raw write" is a call to an interface method named Exec — the
+// agent.Upstream and cluster.Execer shapes; a concrete method resolves
+// statically and is judged by its own body. In the fenced packages
+// (internal/cluster, cmd/ecaagent) each raw write must be justified by
+// one of:
+//
+//   - a reachable validation earlier in the same function — a call to a
+//     method named Validate, or to a function carrying the "validates"
+//     fact;
+//   - a receiver that provably came from a fencing constructor: a value
+//     (transitively) produced by a call to a function carrying the
+//     "fences" fact, e.g. up, _ := dial(...) where dial came from
+//     cluster.FencedDialer.
+//
+// The facts close the loop across packages, fixpointed within one:
+// a function that validates before writing exports "validates"
+// (fencedUpstream.Exec); a type whose Exec validates is a fenced type;
+// a function that constructs a fenced type — composite literal, even
+// inside a returned closure — or returns another fencer's result
+// exports "fences" (cluster.FencedDialer). That is how cmd/ecaagent
+// gets credit for wrapping its dialer without fencedwrite seeing the
+// dial happen.
+//
+// The deliberate exceptions are the authority's own statements: the
+// epoch CAS and lease renewal in SQLAuthority *are* the fence's ground
+// truth and cannot validate against themselves — they carry waivers.
+package fencedwrite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/activedb/ecaagent/internal/analysis"
+	"github.com/activedb/ecaagent/internal/analysis/cfg"
+)
+
+// FencedPackages lists the packages whose raw writes must be fenced.
+// Exported so fixture tests can temporarily extend it.
+var FencedPackages = []string{
+	"github.com/activedb/ecaagent/internal/cluster",
+	"github.com/activedb/ecaagent/cmd/ecaagent",
+}
+
+// Analyzer is the fencedwrite pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fencedwrite",
+	Doc:  "interface Exec calls in the cluster packages must flow through epoch validation or a fencing constructor",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Fixpoint the facts: "validates" feeds fenced types feeds "fences",
+	// and a chain inside one package needs repeated rounds.
+	for {
+		before := pass.Facts.Len()
+		exportFacts(pass)
+		if pass.Facts.Len() == before {
+			break
+		}
+	}
+	if analysis.PackageTargeted(pass.Pkg.Path(), FencedPackages) {
+		report(pass)
+	}
+	return nil
+}
+
+// exportFacts publishes "validates" and "fences" for the package's
+// declared functions.
+func exportFacts(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			// "validates": the function's own flow (closures excluded —
+			// a validation deferred to a callback guards nothing here)
+			// calls a validator.
+			found := false
+			cfg.Inspect(fd.Body, func(n ast.Node) {
+				if !found && isValidatingCall(pass, n) {
+					found = true
+				}
+			})
+			if found {
+				pass.ExportFact(obj, "validates", "true")
+			}
+			// "fences": constructs a fenced type anywhere in the body —
+			// including inside a returned closure, the FencedDialer
+			// shape — or returns another fencer's result.
+			fences := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fences {
+					return false
+				}
+				switch x := n.(type) {
+				case *ast.CompositeLit:
+					if fencedType(pass, pass.TypesInfo.Types[x].Type) {
+						fences = true
+					}
+				case *ast.ReturnStmt:
+					for _, res := range x.Results {
+						if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+							if callee := calleeObj(pass, call); callee != nil {
+								if _, ok := pass.LookupFact(callee, "fences"); ok {
+									fences = true
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+			if fences {
+				pass.ExportFact(obj, "fences", "true")
+			}
+		}
+	}
+}
+
+// isValidatingCall reports whether n is a call to a method named
+// Validate or to a function carrying the "validates" fact.
+func isValidatingCall(pass *analysis.Pass, n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Validate" {
+		if _, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			return true
+		}
+	}
+	if callee := calleeObj(pass, call); callee != nil {
+		if _, ok := pass.LookupFact(callee, "validates"); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// fencedType reports whether t (or *t) is a named type whose Exec
+// method carries the "validates" fact.
+func fencedType(pass *analysis.Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	m, _, _ := types.LookupFieldOrMethod(named, true, pass.Pkg, "Exec")
+	fn, ok := m.(*types.Func)
+	if !ok {
+		return false
+	}
+	_, validates := pass.LookupFact(fn, "validates")
+	return validates
+}
+
+// report flags unsatisfied raw writes in one of the fenced packages.
+func report(pass *analysis.Pass) {
+	analysis.WalkFunctions(pass.Files, func(n ast.Node, _ []ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return
+		}
+		if body == nil || pass.InTestFile(body.Pos()) {
+			return
+		}
+		checkFunc(pass, body)
+	})
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+
+	// Fence-tainted locals: values (transitively) produced by calls to
+	// "fences"-fact functions. `dial := FencedDialer(...)` taints dial;
+	// `up, err := dial(...)` taints up (and err, harmlessly).
+	tainted := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		g.Visit(func(_ *cfg.Block, _ int, n ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			producing := false
+			if callee := calleeObj(pass, call); callee != nil {
+				if _, ok := pass.LookupFact(callee, "fences"); ok {
+					producing = true
+				} else if tainted[callee] {
+					producing = true
+				}
+			}
+			if !producing {
+				return
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+		})
+	}
+
+	// Validation events and raw-write operations, by block/index.
+	type site struct {
+		block *cfg.Block
+		idx   int
+	}
+	var events []site
+	type op struct {
+		site
+		call *ast.CallExpr
+		expr string
+	}
+	var ops []op
+	g.Visit(func(b *cfg.Block, i int, n ast.Node) {
+		if isValidatingCall(pass, n) {
+			events = append(events, site{b, i})
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Exec" {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !types.IsInterface(sig.Recv().Type()) {
+			return
+		}
+		// Receiver rooted in a fence-tainted local is already safe.
+		if root := rootIdent(sel.X); root != nil && tainted[pass.TypesInfo.Uses[root]] {
+			return
+		}
+		ops = append(ops, op{site{b, i}, call, types.ExprString(sel.X)})
+	})
+
+	reach := map[*cfg.Block]map[*cfg.Block]bool{}
+	for _, o := range ops {
+		ok := false
+		for _, e := range events {
+			if e.block == o.block && e.idx <= o.idx {
+				ok = true
+				break
+			}
+			r, cached := reach[e.block]
+			if !cached {
+				r = g.ReachableFrom(e.block)
+				reach[e.block] = r
+			}
+			if r[o.block] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(o.call.Pos(),
+				"unfenced write: %s.Exec has no reachable epoch validation — route it through FencedDialer or Validate first, or waive with //ecavet:allow fencedwrite <reason>",
+				o.expr)
+		}
+	}
+}
+
+// rootIdent returns the leftmost identifier of an expression chain
+// (x, x.f, x.f[i].g → x).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeObj resolves the called function or variable being invoked.
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package fencedwrite_test
+
+import (
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/analysis/analysistest"
+	"github.com/activedb/ecaagent/internal/analysis/fencedwrite"
+)
+
+func TestFencedWrite(t *testing.T) {
+	analysistest.Run(t, "testdata", fencedwrite.Analyzer,
+		"github.com/activedb/ecaagent/cmd/ecaagent/fwfix")
+}

@@ -1,0 +1,44 @@
+// Package fwhelper mirrors the cluster fence shapes outside the fenced
+// target list: nothing here is reported, but fencedUp.Exec exports
+// "validates", making fencedUp a fenced type, making Fence export
+// "fences" — the chain the fixture package consumes.
+package fwhelper
+
+type Result struct{}
+
+// Upstream is the raw-write interface shape (agent.Upstream's stand-in).
+type Upstream interface {
+	Exec(sql string) (*Result, error)
+}
+
+// Authority validates fencing epochs.
+type Authority interface {
+	Validate(epoch uint64) error
+}
+
+type fencedUp struct {
+	up    Upstream
+	auth  Authority
+	epoch uint64
+}
+
+func (f *fencedUp) Exec(sql string) (*Result, error) {
+	if err := f.auth.Validate(f.epoch); err != nil {
+		return nil, err
+	}
+	return f.up.Exec(sql)
+}
+
+// Fence wraps a dialer so every produced upstream validates first — the
+// FencedDialer shape: the fenced composite literal sits inside the
+// returned closure.
+func Fence(inner func() Upstream, auth Authority, epoch uint64) func() Upstream {
+	return func() Upstream {
+		return &fencedUp{up: inner(), auth: auth, epoch: epoch}
+	}
+}
+
+// Refence forwards another fencer's result.
+func Refence(inner func() Upstream, auth Authority) func() Upstream {
+	return Fence(inner, auth, 1)
+}

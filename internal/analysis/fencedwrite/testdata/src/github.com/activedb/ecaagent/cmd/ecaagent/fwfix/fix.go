@@ -1,0 +1,56 @@
+// Package fwfix exercises fencedwrite: its import path sits under the
+// fenced prefix cmd/ecaagent.
+package fwfix
+
+import (
+	"fwhelper"
+)
+
+func raw(up fwhelper.Upstream) {
+	up.Exec("delete from t") // want `unfenced write: up\.Exec has no reachable epoch validation`
+}
+
+func validated(up fwhelper.Upstream, auth fwhelper.Authority, epoch uint64) error {
+	if err := auth.Validate(epoch); err != nil {
+		return err
+	}
+	_, err := up.Exec("delete from t")
+	return err
+}
+
+// Validation on only one branch still reaches the write — the check is
+// reachability, not dominance; the no-validate path is for humans (and
+// the chaos suite) to judge.
+func validatedOneBranch(up fwhelper.Upstream, auth fwhelper.Authority, epoch uint64, risky bool) {
+	if !risky {
+		auth.Validate(epoch)
+	}
+	up.Exec("update t set x = 1")
+}
+
+// A validation after the write is no defence.
+func validatedTooLate(up fwhelper.Upstream, auth fwhelper.Authority, epoch uint64) {
+	up.Exec("delete from t") // want `unfenced write: up\.Exec has no reachable epoch validation`
+	auth.Validate(epoch)
+}
+
+// A fenced dialer taints its results: both the dialer variable and the
+// upstream it produces.
+func viaFencedDialer(mk func() fwhelper.Upstream, auth fwhelper.Authority) {
+	dial := fwhelper.Fence(mk, auth, 7)
+	up := dial()
+	up.Exec("insert t values (1)")
+}
+
+// Refence only forwards Fence, but the "fences" fact propagates.
+func viaRefence(mk func() fwhelper.Upstream, auth fwhelper.Authority) {
+	dial := fwhelper.Refence(mk, auth)
+	up := dial()
+	up.Exec("insert t values (1)")
+}
+
+// An upstream from an unfenced dialer stays raw.
+func viaRawDialer(mk func() fwhelper.Upstream) {
+	up := mk()
+	up.Exec("insert t values (1)") // want `unfenced write: up\.Exec has no reachable epoch validation`
+}

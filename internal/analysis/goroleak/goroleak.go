@@ -1,0 +1,168 @@
+// Package goroleak demands a stop path for every goroutine the daemon
+// packages spawn. A goroutine whose function cannot reach its own return
+// — a bare `for { work() }`, or a range over a ticker channel that is
+// never closed — outlives every shutdown: Close() returns, the test
+// binary's leak detector fires (or worse, does not), and the standby
+// keeps shipping to a peer that is gone. The paper's agent is a
+// long-lived mediator; its goroutines must all be stoppable.
+//
+// The check is control-flow, not convention: the spawned function's CFG
+// must be able to reach Exit. A `select { case <-done: return ... }`, an
+// error return inside an accept loop, or a `for range ch` over a channel
+// the producer closes all count — the graph has an edge to Exit. Two
+// liveness lies are corrected first: `for range time.Tick(d)` and
+// `for range t.C` on a time.Ticker get their loop-exhausted edge removed,
+// because those channels are never closed and the range can never end.
+//
+// Cross-package spawns work through facts: every function whose graph
+// cannot reach Exit exports a "noexit" fact, so `go pkg.Forever()` is
+// flagged at the go statement even though Forever's body was analyzed in
+// a dependency pass.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/activedb/ecaagent/internal/analysis"
+	"github.com/activedb/ecaagent/internal/analysis/cfg"
+)
+
+// GoroPackages lists the long-lived daemon packages under enforcement.
+// Exported so fixture tests can temporarily extend it.
+var GoroPackages = []string{
+	"github.com/activedb/ecaagent/cmd/ecaagent",
+	"github.com/activedb/ecaagent/internal/agent",
+	"github.com/activedb/ecaagent/internal/cluster",
+	"github.com/activedb/ecaagent/internal/server",
+	"github.com/activedb/ecaagent/internal/led",
+	"github.com/activedb/ecaagent/internal/ged",
+}
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "every goroutine needs a stop path: its function must be able to reach return",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: export "noexit" facts for every declared function that can
+	// never terminate, in every package — dependents see them when they
+	// spawn these functions with go.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			if !canStop(pass, cfg.New(fd.Body)) {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					pass.ExportFact(obj, "noexit", "true")
+				}
+			}
+		}
+	}
+
+	// Phase 2: report go statements spawning unstoppable functions, in
+	// the daemon packages only.
+	if !analysis.PackageTargeted(pass.Pkg.Path(), GoroPackages) {
+		return nil
+	}
+	analysis.WalkFunctions(pass.Files, func(n ast.Node, _ []ast.Node) {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok || pass.InTestFile(gs.Pos()) {
+			return
+		}
+		switch fun := gs.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if !canStop(pass, cfg.New(fun.Body)) {
+				pass.Reportf(gs.Pos(),
+					"goroutine leak: func literal has no stop path (cannot reach return) — add a done channel, context cancel, or closable range, or waive with //ecavet:allow goroleak <reason>")
+			}
+		default:
+			var id *ast.Ident
+			switch f := fun.(type) {
+			case *ast.Ident:
+				id = f
+			case *ast.SelectorExpr:
+				id = f.Sel
+			default:
+				return
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return
+			}
+			if _, noexit := pass.LookupFact(obj, "noexit"); noexit {
+				pass.Reportf(gs.Pos(),
+					"goroutine leak: %s has no stop path (cannot reach return) — add a done channel, context cancel, or closable range, or waive with //ecavet:allow goroleak <reason>",
+					id.Name)
+			}
+		}
+	})
+	return nil
+}
+
+// canStop reports whether the graph can reach Exit from Entry, after
+// removing the loop-exhausted edge from range heads over channels that
+// are never closed (time.Tick, time.Ticker.C).
+func canStop(pass *analysis.Pass, g *cfg.Graph) bool {
+	seen := map[*cfg.Block]bool{g.Entry: true}
+	stack := []*cfg.Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == g.Exit {
+			return true
+		}
+		poisoned := b.Kind == "range.head" && rangesForever(pass, b)
+		for _, s := range b.Succs {
+			if poisoned && s.Kind != "range.body" {
+				continue // the "range exhausted" edge is a lie here
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// rangesForever reports whether the range head's ranged expression is a
+// channel that is never closed: a time.Tick(...) call or the C field of
+// a time.Ticker.
+func rangesForever(pass *analysis.Pass, head *cfg.Block) bool {
+	if len(head.Nodes) == 0 {
+		return false
+	}
+	x, ok := head.Nodes[0].(ast.Expr)
+	if !ok {
+		return false
+	}
+	switch e := ast.Unparen(x).(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Tick" {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "C" {
+			return false
+		}
+		if tv, ok := pass.TypesInfo.Types[e.X]; ok && tv.Type != nil {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				obj := named.Obj()
+				return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Ticker"
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+// Package glfix exercises goroleak: its import path sits under the
+// daemon prefix internal/server.
+package glfix
+
+import (
+	"time"
+
+	"glhelper"
+)
+
+type daemon struct {
+	done chan struct{}
+	work chan int
+	tick *time.Ticker
+}
+
+// spinForever has no stop path at all.
+func (d *daemon) spinForever() {
+	for {
+		step()
+	}
+}
+
+// tickForever ranges a ticker channel that is never closed: the range
+// can never be exhausted, so the loop-exit edge is a lie.
+func (d *daemon) tickForever() {
+	for range d.tick.C {
+		step()
+	}
+}
+
+// selectStop exits through the done channel.
+func (d *daemon) selectStop() {
+	for {
+		select {
+		case <-d.done:
+			return
+		case v := <-d.work:
+			_ = v
+		}
+	}
+}
+
+// drain exits when the producer closes the channel.
+func (d *daemon) drain() {
+	for v := range d.work {
+		_ = v
+	}
+}
+
+func (d *daemon) start() {
+	go d.spinForever() // want `goroutine leak: spinForever has no stop path`
+	go d.tickForever() // want `goroutine leak: tickForever has no stop path`
+	go d.selectStop()
+	go d.drain()
+	go glhelper.Forever() // want `goroutine leak: Forever has no stop path`
+	go glhelper.Stoppable(d.work)
+
+	go func() { // want `goroutine leak: func literal has no stop path`
+		for range time.Tick(time.Second) {
+			step()
+		}
+	}()
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				step()
+			case <-d.done:
+				return
+			}
+		}
+	}()
+	go func() {
+		step() // straight-line goroutines terminate on their own
+	}()
+}
+
+func step() {}

@@ -1,0 +1,20 @@
+// Package glhelper sits outside the daemon target list, so nothing here
+// is reported — but Forever's "noexit" fact is exported for the fixture
+// package that spawns it.
+package glhelper
+
+// Forever never returns.
+func Forever() {
+	for {
+		work()
+	}
+}
+
+// Stoppable drains a closable channel.
+func Stoppable(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func work() {}

@@ -1,0 +1,13 @@
+package iodeadline_test
+
+import (
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/analysis/analysistest"
+	"github.com/activedb/ecaagent/internal/analysis/iodeadline"
+)
+
+func TestIODeadline(t *testing.T) {
+	analysistest.Run(t, "testdata", iodeadline.Analyzer,
+		"github.com/activedb/ecaagent/internal/cluster/idfix")
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"sort"
 )
 
 // The standalone driver: load packages via `go list -deps -export -json`
@@ -15,6 +16,12 @@ import (
 // through the export data `go list -export` makes the toolchain produce,
 // so no source beyond the analyzed package is ever re-type-checked —
 // exactly how the vettool mode works, minus cmd/go orchestrating it.
+//
+// `go list -deps` emits dependencies before dependents, which is exactly
+// the order the fact store needs: one in-memory store threads through the
+// walk, in-module dependency (DepOnly) packages get a facts-only pass so
+// their exported-function facts are visible when their dependents are
+// analyzed, and requested packages get the full waiver-filtered run.
 
 // listPackage is the subset of `go list -json` output the loader reads.
 type listPackage struct {
@@ -30,12 +37,17 @@ type listPackage struct {
 	}
 }
 
-// goList runs `go list` and decodes its JSON stream.
-func goList(patterns []string) ([]*listPackage, error) {
-	args := append([]string{
-		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Module",
-	}, patterns...)
+// goList runs `go list` and decodes its JSON stream. With export set it
+// lists transitive dependencies and builds export data (the analysis
+// loader's mode); without, it is a cheap source-file listing of just the
+// matched packages (the waiver lister's mode).
+func goList(patterns []string, export bool) ([]*listPackage, error) {
+	args := []string{"list"}
+	if export {
+		args = append(args, "-deps", "-export")
+	}
+	args = append(args, "-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Module")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -62,7 +74,7 @@ func goList(patterns []string) ([]*listPackage, error) {
 // non-standard-library match. It returns all surviving diagnostics in one
 // position-sorted slice.
 func CheckPackages(patterns []string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
-	pkgs, err := goList(patterns)
+	pkgs, err := goList(patterns, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -74,10 +86,14 @@ func CheckPackages(patterns []string, analyzers []*Analyzer) ([]Diagnostic, *tok
 	}
 	fset := token.NewFileSet()
 	imp := NewExportImporter(fset, nil, exportFiles)
+	facts := NewFacts()
 	var all []Diagnostic
 	for _, p := range pkgs {
-		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+		if p.Standard || len(p.GoFiles) == 0 {
 			continue
+		}
+		if p.DepOnly && p.Module == nil {
+			continue // dependency outside any module: nothing to analyze
 		}
 		names := make([]string, len(p.GoFiles))
 		for i, f := range p.GoFiles {
@@ -95,7 +111,16 @@ func CheckPackages(patterns []string, analyzers []*Analyzer) ([]Diagnostic, *tok
 		if err != nil {
 			return nil, nil, err
 		}
-		diags, err := RunWithWaivers(pkg, analyzers)
+		if p.DepOnly {
+			// Facts-only pass: the package was not requested, so its
+			// diagnostics are not this run's business, but its exported
+			// facts are its dependents'.
+			if _, err := RunFacts(pkg, analyzers, facts); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		diags, err := RunFactsWithWaivers(pkg, analyzers, facts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -103,4 +128,39 @@ func CheckPackages(patterns []string, analyzers []*Analyzer) ([]Diagnostic, *tok
 	}
 	sortDiagnostics(fset, all)
 	return all, fset, nil
+}
+
+// ListWaivers parses the packages matching the patterns (source only —
+// no type checking, no export data) and returns every waiver comment
+// they contain, sorted by position. This backs `ecavet -waivers`,
+// the audit listing DESIGN.md's waiver table is generated from.
+func ListWaivers(patterns []string) ([]Waiver, error) {
+	pkgs, err := goList(patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var all []Waiver
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		names := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			names[i] = filepath.Join(p.Dir, f)
+		}
+		files, err := ParseFiles(fset, names)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, CollectWaivers(fset, files)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return all, nil
 }

@@ -1,0 +1,649 @@
+// Package poolleak enforces the repo's sync.Pool discipline. The hot
+// paths (PR 8) recycle scratch objects — firing scratches in the LED,
+// primitive batches and decode scratches in the agent — and a pooled
+// object is only safe while exactly one goroutine owns it. Three rules
+// follow, checked in the pool packages (internal/led, internal/agent):
+//
+//   - no escape: a pooled value must not be stored into package state,
+//     another object, or a channel. Once it leaves the function the pool
+//     can hand the same memory to someone else. (Returning it is fine —
+//     that is the accessor shape — and deliberate ownership transfers,
+//     like the ingest router parking a batch in its scratch map, carry
+//     waivers.)
+//   - no use after Put: after the value goes back — via sync.Pool.Put
+//     or a "sink" helper — any read or write on ANY path is a race with
+//     the next Get. Reassigning the variable revives it.
+//   - reset before Put: a direct Put must be preceded by a reachable
+//     store that clears the value (slice truncation, zero composite,
+//     nil, or a reset/clear/zero-named call), so a recycled object never
+//     leaks one owner's data into the next — the putPrimBatch
+//     discipline. Freshly constructed values are exempt.
+//
+// Two facts let the wrappers participate across packages: a function
+// returning a pooled value exports "source" (getPrimBatch,
+// firingPool.get), and a function that Puts one of its parameters
+// exports "sink" (putPrimBatch, firingPool.put). Callers of a source
+// are holding pooled memory; calling a sink is a Put.
+package poolleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/activedb/ecaagent/internal/analysis"
+	"github.com/activedb/ecaagent/internal/analysis/cfg"
+)
+
+// PoolPackages lists the packages whose pool usage is checked.
+// Exported so fixture tests can temporarily extend it.
+var PoolPackages = []string{
+	"github.com/activedb/ecaagent/internal/led",
+	"github.com/activedb/ecaagent/internal/agent",
+}
+
+// Analyzer is the poolleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolleak",
+	Doc:  "sync.Pool values must stay local, be reset before Put, and never be used after Put",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Fixpoint the facts: a source may return another source's result,
+	// a sink may forward to another sink.
+	for {
+		before := pass.Facts.Len()
+		exportFacts(pass)
+		if pass.Facts.Len() == before {
+			break
+		}
+	}
+	if analysis.PackageTargeted(pass.Pkg.Path(), PoolPackages) {
+		report(pass)
+	}
+	return nil
+}
+
+// exportFacts publishes "source" and "sink" for the package's declared
+// functions.
+func exportFacts(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			pooled := pooledObjects(pass, fd.Body)
+			// "source": some return hands back a pooled value. Closures
+			// are excluded — their returns are not this function's.
+			src := false
+			cfg.Inspect(fd.Body, func(n ast.Node) {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok || src {
+					return
+				}
+				for _, res := range ret.Results {
+					if producesPooled(pass, res, pooled) {
+						src = true
+					}
+				}
+			})
+			if src {
+				pass.ExportFact(obj, "source", "true")
+			}
+			// "sink": the function Puts one of its parameters, directly
+			// or through another sink.
+			params := paramObjects(pass, fd)
+			snk := false
+			cfg.Inspect(fd.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || snk {
+					return
+				}
+				for _, o := range putEventObjs(pass, call) {
+					if params[o] {
+						snk = true
+					}
+				}
+			})
+			if snk {
+				pass.ExportFact(obj, "sink", "true")
+			}
+		}
+	}
+}
+
+// report checks every function of a pool package.
+func report(pass *analysis.Pass) {
+	analysis.WalkFunctions(pass.Files, func(n ast.Node, _ []ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return
+		}
+		if body == nil || pass.InTestFile(body.Pos()) {
+			return
+		}
+		checkFunc(pass, body)
+	})
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	pooled := pooledObjects(pass, body)
+	checkEscapes(pass, body, pooled)
+
+	g := cfg.New(body)
+	st := collect(pass, g, body)
+	checkUseAfterPut(pass, g, st)
+	checkPutReset(pass, g, st)
+}
+
+// checkEscapes flags stores of pooled values outside the function's own
+// locals: into a field or element of another object, into a package
+// variable, or onto a channel.
+func checkEscapes(pass *analysis.Pass, body *ast.BlockStmt, pooled map[types.Object]bool) {
+	escape := func(pos token.Pos, name string) {
+		pass.Reportf(pos,
+			"pool value %s escapes: a pooled object stored outside this function can be recycled under its new owner — keep it local and hand it back with Put, or waive with //ecavet:allow poolleak <reason>",
+			name)
+	}
+	cfg.Inspect(body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return
+			}
+			for i := range x.Lhs {
+				id, ok := ast.Unparen(x.Rhs[i]).(*ast.Ident)
+				if !ok || !pooled[objOf(pass, id)] {
+					continue
+				}
+				switch lhs := ast.Unparen(x.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					escape(id.Pos(), id.Name)
+				case *ast.Ident:
+					if o := objOf(pass, lhs); o != nil && o.Parent() == pass.Pkg.Scope() {
+						escape(id.Pos(), id.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(x.Value).(*ast.Ident); ok && pooled[objOf(pass, id)] {
+				escape(id.Pos(), id.Name)
+			}
+		}
+	})
+}
+
+// state is everything collect gathers for the Put checks.
+type state struct {
+	tracked   map[types.Object]bool // objects that are ever Put
+	putArgs   map[*ast.Ident]bool   // idents consumed as Put arguments
+	lhsKills  map[*ast.Ident]bool   // plain-ident assignment targets
+	deferred  map[*ast.CallExpr]bool
+	rangeKill map[ast.Node][]types.Object // range X node -> key/value objects
+	fresh     map[types.Object]bool
+	resets    map[types.Object][]site
+	puts      []putSite
+}
+
+type site struct {
+	b *cfg.Block
+	i int
+}
+
+type putSite struct {
+	site
+	obj  types.Object
+	pos  token.Pos
+	name string
+}
+
+func collect(pass *analysis.Pass, g *cfg.Graph, body *ast.BlockStmt) *state {
+	st := &state{
+		tracked:   map[types.Object]bool{},
+		putArgs:   map[*ast.Ident]bool{},
+		lhsKills:  map[*ast.Ident]bool{},
+		deferred:  map[*ast.CallExpr]bool{},
+		rangeKill: map[ast.Node][]types.Object{},
+		fresh:     map[types.Object]bool{},
+		resets:    map[types.Object][]site{},
+	}
+	cfg.Inspect(body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Put runs at exit: it transfers ownership but
+			// kills no use between here and the return.
+			st.deferred[x.Call] = true
+		case *ast.RangeStmt:
+			var objs []types.Object
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				id, ok := e.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if o := objOf(pass, id); o != nil {
+					objs = append(objs, o)
+				}
+			}
+			st.rangeKill[x.X] = objs
+		}
+	})
+	g.Visit(func(b *cfg.Block, i int, n ast.Node) {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			for _, id := range putEventIdents(pass, x) {
+				st.putArgs[id] = true
+				obj := objOf(pass, id)
+				if obj == nil {
+					continue
+				}
+				st.tracked[obj] = true
+				if isPoolMethod(pass, x, "Put") && !st.deferred[x] {
+					st.puts = append(st.puts, putSite{site{b, i}, obj, x.Pos(), id.Name})
+				}
+			}
+			if name, ok := calleeName(x); ok && resettyName(name) {
+				for _, o := range callTargets(pass, x) {
+					st.resets[o] = append(st.resets[o], site{b, i})
+				}
+			}
+		case *ast.AssignStmt:
+			for i2, lhs := range x.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					st.lhsKills[id] = true
+					if len(x.Lhs) == len(x.Rhs) && freshExpr(x.Rhs[i2]) {
+						if o := objOf(pass, id); o != nil {
+							st.fresh[o] = true
+						}
+					}
+					continue
+				}
+				if root := rootIdent(lhs); root != nil && len(x.Lhs) == len(x.Rhs) && resettyExpr(x.Rhs[i2]) {
+					if o := objOf(pass, root); o != nil {
+						st.resets[o] = append(st.resets[o], site{b, i})
+					}
+				}
+			}
+		}
+	})
+	return st
+}
+
+// checkUseAfterPut runs a forward may-analysis: an object is dead after
+// any Put; a read or write while dead on some path is a report;
+// reassignment (including a range rebinding) revives it.
+func checkUseAfterPut(pass *analysis.Pass, g *cfg.Graph, st *state) {
+	if len(st.tracked) == 0 {
+		return
+	}
+	apply := func(dead map[types.Object]bool, n ast.Node, report bool) {
+		if report {
+			cfg.Inspect(n, func(x ast.Node) {
+				id, ok := x.(*ast.Ident)
+				if !ok || st.putArgs[id] || st.lhsKills[id] {
+					return
+				}
+				obj := objOf(pass, id)
+				if obj == nil || !st.tracked[obj] || !dead[obj] {
+					return
+				}
+				pass.Reportf(id.Pos(),
+					"use of %s after Put: the pool may already have recycled it — finish with the value before Put, or waive with //ecavet:allow poolleak <reason>",
+					id.Name)
+			})
+		}
+		cfg.Inspect(n, func(x ast.Node) {
+			as, ok := x.(*ast.AssignStmt)
+			if !ok {
+				return
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if o := objOf(pass, id); o != nil {
+						delete(dead, o)
+					}
+				}
+			}
+		})
+		for _, o := range st.rangeKill[n] {
+			delete(dead, o)
+		}
+		cfg.Inspect(n, func(x ast.Node) {
+			call, ok := x.(*ast.CallExpr)
+			if !ok || st.deferred[call] {
+				return
+			}
+			for _, id := range putEventIdents(pass, call) {
+				if o := objOf(pass, id); o != nil {
+					dead[o] = true
+				}
+			}
+		})
+	}
+	in := map[*cfg.Block]map[types.Object]bool{}
+	for _, b := range g.Blocks {
+		in[b] = map[types.Object]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			dead := map[types.Object]bool{}
+			for o := range in[b] {
+				dead[o] = true
+			}
+			for _, n := range b.Nodes {
+				apply(dead, n, false)
+			}
+			for _, s := range b.Succs {
+				for o := range dead {
+					if !in[s][o] {
+						in[s][o] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		dead := map[types.Object]bool{}
+		for o := range in[b] {
+			dead[o] = true
+		}
+		for _, n := range b.Nodes {
+			apply(dead, n, true)
+		}
+	}
+}
+
+// checkPutReset requires every direct sync.Pool.Put of a non-fresh
+// value to be preceded (reachably) by a clearing store or reset call.
+func checkPutReset(pass *analysis.Pass, g *cfg.Graph, st *state) {
+	reach := map[*cfg.Block]map[*cfg.Block]bool{}
+	for _, p := range st.puts {
+		if st.fresh[p.obj] {
+			continue
+		}
+		ok := false
+		for _, r := range st.resets[p.obj] {
+			if r.b == p.b && r.i <= p.i {
+				ok = true
+				break
+			}
+			m, cached := reach[r.b]
+			if !cached {
+				m = g.ReachableFrom(r.b)
+				reach[r.b] = m
+			}
+			if m[p.b] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(p.pos,
+				"Put without reset: %s goes back to the pool carrying stale state — zero its fields first (the putPrimBatch discipline), or waive with //ecavet:allow poolleak <reason>",
+				p.name)
+		}
+	}
+}
+
+// pooledObjects returns the locals holding pool-owned memory: assigned
+// from sync.Pool.Get, from a "source"-fact call, or aliased from
+// another pooled local.
+func pooledObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	pooled := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		cfg.Inspect(body, func(n ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return
+			}
+			for i := range as.Lhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := objOf(pass, id)
+				if obj == nil || pooled[obj] {
+					continue
+				}
+				if producesPooled(pass, as.Rhs[i], pooled) {
+					pooled[obj] = true
+					changed = true
+				}
+			}
+		})
+	}
+	return pooled
+}
+
+// producesPooled reports whether e evaluates to pool-owned memory:
+// a Get call, a source-fact call, or a pooled local — through any
+// parens and type assertions.
+func producesPooled(pass *analysis.Pass, e ast.Expr, pooled map[types.Object]bool) bool {
+	switch x := unwrap(e).(type) {
+	case *ast.Ident:
+		return pooled[objOf(pass, x)]
+	case *ast.CallExpr:
+		if isPoolMethod(pass, x, "Get") {
+			return true
+		}
+		if callee := calleeObj(pass, x); callee != nil {
+			if _, ok := pass.LookupFact(callee, "source"); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// putEventIdents returns the identifier arguments that call transfers
+// to a pool: the argument of sync.Pool.Put, or every plain-ident
+// argument of a "sink"-fact function.
+func putEventIdents(pass *analysis.Pass, call *ast.CallExpr) []*ast.Ident {
+	sink := false
+	if isPoolMethod(pass, call, "Put") {
+		sink = true
+	} else if callee := calleeObj(pass, call); callee != nil {
+		if _, ok := pass.LookupFact(callee, "sink"); ok {
+			sink = true
+		}
+	}
+	if !sink {
+		return nil
+	}
+	var ids []*ast.Ident
+	for _, a := range call.Args {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok && id.Name != "_" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func putEventObjs(pass *analysis.Pass, call *ast.CallExpr) []types.Object {
+	var objs []types.Object
+	for _, id := range putEventIdents(pass, call) {
+		if o := objOf(pass, id); o != nil {
+			objs = append(objs, o)
+		}
+	}
+	return objs
+}
+
+// isPoolMethod reports whether call invokes sync.Pool's method name.
+func isPoolMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+// freshExpr reports whether e constructs a brand-new value, exempting
+// it from the reset-before-Put requirement.
+func freshExpr(e ast.Expr) bool {
+	switch x := unwrap(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// resettyExpr reports whether storing e into a field clears state:
+// slice truncation, a zero composite, nil/false, or a literal.
+func resettyExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SliceExpr, *ast.CompositeLit, *ast.BasicLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.Ident:
+		return x.Name == "nil" || x.Name == "false"
+	}
+	return false
+}
+
+func resettyName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "reset") || strings.Contains(l, "clear") || strings.Contains(l, "zero")
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// callTargets returns the plain-ident arguments and the receiver root
+// of a call — the objects a reset-named call plausibly clears.
+func callTargets(pass *analysis.Pass, call *ast.CallExpr) []types.Object {
+	var objs []types.Object
+	add := func(id *ast.Ident) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		if o := objOf(pass, id); o != nil {
+			objs = append(objs, o)
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		add(rootIdent(sel.X))
+	}
+	for _, a := range call.Args {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+			add(id)
+		}
+	}
+	return objs
+}
+
+func paramObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	params := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if o := pass.TypesInfo.Defs[name]; o != nil {
+					params[o] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	return params
+}
+
+// unwrap strips parens and type assertions: pool.Get().(*T) is still
+// the Get call.
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		ta, ok := e.(*ast.TypeAssertExpr)
+		if !ok {
+			return e
+		}
+		e = ta.X
+	}
+}
+
+// rootIdent returns the leftmost identifier of an lvalue chain
+// (x, x.f, x.f[i].g → x).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// calleeObj resolves the called function or variable being invoked.
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package poolleak_test
+
+import (
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/analysis/analysistest"
+	"github.com/activedb/ecaagent/internal/analysis/poolleak"
+)
+
+func TestPoolLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", poolleak.Analyzer,
+		"github.com/activedb/ecaagent/internal/led/plfix")
+}

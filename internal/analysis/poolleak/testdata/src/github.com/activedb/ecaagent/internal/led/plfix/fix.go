@@ -1,0 +1,144 @@
+// Package plfix exercises poolleak: its import path sits under the
+// pool prefix internal/led.
+package plfix
+
+import (
+	"sync"
+
+	"plhelper"
+)
+
+type buf struct{ bs []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(buf) }}
+
+func use([]byte)    {}
+func use2([]string) {}
+
+// The full discipline: get, use, truncate, put.
+func roundTrip(p []byte) {
+	b := bufPool.Get().(*buf)
+	b.bs = append(b.bs, p...)
+	use(b.bs)
+	b.bs = b.bs[:0]
+	bufPool.Put(b)
+}
+
+// Reading a pooled value after Put races the next Get.
+func useAfterPut(p []byte) {
+	b := bufPool.Get().(*buf)
+	b.bs = append(b.bs, p...)
+	b.bs = b.bs[:0]
+	bufPool.Put(b)
+	use(b.bs) // want `use of b after Put`
+}
+
+// Put on one branch poisons the join: the use races on the may-path.
+func condPut(flush bool) {
+	b := bufPool.Get().(*buf)
+	if flush {
+		b.bs = b.bs[:0]
+		bufPool.Put(b)
+	}
+	use(b.bs) // want `use of b after Put`
+}
+
+// Reassignment revives the variable.
+func putThenReassign() {
+	b := bufPool.Get().(*buf)
+	b.bs = b.bs[:0]
+	bufPool.Put(b)
+	b = bufPool.Get().(*buf)
+	use(b.bs)
+	b.bs = b.bs[:0]
+	bufPool.Put(b)
+}
+
+// The range head rebinds b each iteration, so the loop-back edge after
+// Put does not poison the next iteration's use.
+func drain(q chan *buf) {
+	for b := range q {
+		use(b.bs)
+		b.bs = b.bs[:0]
+		bufPool.Put(b)
+	}
+}
+
+// Pooling a value that was never cleared leaks its state to the next
+// owner.
+func dirtyPut() {
+	b := bufPool.Get().(*buf)
+	use(b.bs)
+	bufPool.Put(b) // want `Put without reset: b goes back to the pool`
+}
+
+// A freshly constructed value has nothing to clear.
+func primePool() {
+	b := &buf{}
+	bufPool.Put(b)
+}
+
+var global *buf
+
+// Stores outside the function leak pool ownership.
+func escapesToGlobal() {
+	b := bufPool.Get().(*buf)
+	global = b // want `pool value b escapes`
+}
+
+func escapesIntoMap(m map[string]*buf) {
+	b := bufPool.Get().(*buf)
+	m["k"] = b // want `pool value b escapes`
+}
+
+// A value from a cross-package source fact is pool-owned too.
+func escapesOnChannel(ch chan *plhelper.Scratch) {
+	s := plhelper.Get()
+	ch <- s // want `pool value s escapes`
+}
+
+// The helper's sink fact makes its Put count.
+func useAfterHelperPut(s *plhelper.Scratch) {
+	plhelper.Put(s)
+	use2(s.Keys) // want `use of s after Put`
+}
+
+func helperRound() {
+	s := plhelper.Get()
+	use2(s.Keys)
+	plhelper.Put(s)
+}
+
+// In-package accessors: localGet exports "source", localPut "sink",
+// and the caller is judged through them.
+func localGet() *buf { return bufPool.Get().(*buf) }
+
+func localGet2() *buf {
+	if v := bufPool.Get(); v != nil {
+		return v.(*buf)
+	}
+	return new(buf)
+}
+
+func localPut(b *buf) {
+	b.bs = b.bs[:0]
+	bufPool.Put(b)
+}
+
+func viaLocalWrappers() {
+	b := localGet()
+	use(b.bs)
+	localPut(b)
+	b2 := localGet2()
+	use(b2.bs)
+	localPut(b2)
+}
+
+// A deferred Put transfers ownership at exit: uses before the return
+// are fine.
+func deferredPut(p []byte) {
+	b := bufPool.Get().(*buf)
+	b.bs = b.bs[:0]
+	defer bufPool.Put(b)
+	use(b.bs)
+}

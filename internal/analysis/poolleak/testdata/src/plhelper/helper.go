@@ -1,0 +1,22 @@
+// Package plhelper mirrors the pool accessor shapes outside the pool
+// target list: nothing here is reported, but Get exports "source" and
+// Put exports "sink" — the facts the fixture package consumes.
+package plhelper
+
+import "sync"
+
+// Scratch is a recyclable decode scratch, the batchScratch stand-in.
+type Scratch struct {
+	Keys []string
+}
+
+var pool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// Get hands out a pooled scratch (exports "source").
+func Get() *Scratch { return pool.Get().(*Scratch) }
+
+// Put clears and recycles a scratch (exports "sink").
+func Put(s *Scratch) {
+	s.Keys = s.Keys[:0]
+	pool.Put(s)
+}

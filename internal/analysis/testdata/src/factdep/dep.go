@@ -1,0 +1,9 @@
+// Package factdep exports a function the marked test analyzer hangs a
+// fact on; factuse imports it to prove facts cross fixture packages.
+package factdep
+
+// MarkedDep carries the "marked" fact.
+func MarkedDep() {}
+
+// Plain does not.
+func Plain() {}

@@ -1,0 +1,14 @@
+// Package factuse consumes facts exported while loading its fixture
+// dependency factdep.
+package factuse
+
+import "factdep"
+
+// MarkedLocal also carries the fact — the same-package case.
+func MarkedLocal() {}
+
+func use() {
+	factdep.MarkedDep() // want `call to marked function MarkedDep`
+	factdep.Plain()
+	MarkedLocal() // want `call to marked function MarkedLocal`
+}

@@ -23,15 +23,20 @@ import (
 //     (ecavet has none, so "[]") — cmd/go uses it to split the `go vet`
 //     command line.
 //   - `ecavet <objdir>/vet.cfg` analyzes one package. The JSON config
-//     carries the file list, the import map, and the export-data file of
-//     every dependency; diagnostics go to stderr and a non-zero exit
-//     fails `go vet`. The facts file (VetxOutput) is written empty —
-//     ecavet's analyzers are all intraprocedural-per-package and exchange
-//     no facts — but must exist for cmd/go to cache the result.
+//     carries the file list, the import map, the export-data file of
+//     every dependency, and the facts file of every dependency
+//     (PackageVetx); diagnostics go to stderr and a non-zero exit fails
+//     `go vet`. The facts file (VetxOutput) carries the cumulative fact
+//     store — facts exported by this package's pass plus everything
+//     inherited from dependencies — so a dependent only reads its direct
+//     dependencies' files.
 //
 // Packages outside this module (the standard library, and any future
 // dependency) are skipped wholesale: cmd/go still requests a facts-only
-// pass over them, which returns immediately.
+// pass over them, which writes an empty store and returns. In-module
+// packages requested VetxOnly (dependencies of the vetted patterns) get
+// a real facts-only pass: analyzers run, facts flow, diagnostics are
+// discarded — the package gets its own diagnostics when vetted directly.
 
 // vetConfig mirrors the fields of cmd/go's vet config JSON that ecavet
 // consumes.
@@ -70,13 +75,37 @@ func Main(analyzers []*Analyzer) {
 		os.Exit(0)
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
 		os.Exit(unitcheck(args[0], analyzers))
+	case len(args) > 1 && args[0] == "-waivers":
+		os.Exit(listWaivers(args[1:]))
 	case len(args) > 0:
 		os.Exit(standalone(args, analyzers))
 	default:
-		fmt.Fprintln(os.Stderr, `usage: ecavet <packages>   (standalone, e.g. ecavet ./...)
+		fmt.Fprintln(os.Stderr, `usage: ecavet <packages>            (standalone, e.g. ecavet ./...)
+   or: ecavet -waivers <packages>   (list every //ecavet:allow waiver)
    or: go vet -vettool=$(which ecavet) <packages>`)
 		os.Exit(2)
 	}
+}
+
+// listWaivers implements `ecavet -waivers <patterns>`: one line per
+// //ecavet:allow comment — file:line, analyzer, reason, tab-separated —
+// for DESIGN.md's waiver audit table and the lint-fix-check budget gate.
+// Malformed waivers print with analyzer "MALFORMED" (they will also fail
+// the lint run itself).
+func listWaivers(patterns []string) int {
+	waivers, err := ListWaivers(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecavet: %v\n", err)
+		return 1
+	}
+	for _, w := range waivers {
+		name, reason := w.Analyzer, w.Reason
+		if name == "" {
+			name, reason = "MALFORMED", "-"
+		}
+		fmt.Printf("%s:%d\t%s\t%s\n", w.File, w.Line, name, reason)
+	}
+	return 0
 }
 
 // selfHash fingerprints the running executable so cmd/go's vet cache key
@@ -108,17 +137,35 @@ func unitcheck(cfgPath string, analyzers []*Analyzer) int {
 		fmt.Fprintf(os.Stderr, "ecavet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
+	// Seed the fact store from the dependencies' facts files. Missing or
+	// empty files (skipped std packages, pre-facts caches) decode to
+	// empty stores.
+	facts := NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // dependency skipped or not yet built — no facts
+		}
+		dep, err := DecodeFacts(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecavet: reading facts %s: %v\n", vetx, err)
+			return 1
+		}
+		facts.Merge(dep)
+	}
+
 	// The facts file must exist even for skipped packages, or cmd/go
-	// re-runs the pass on every build instead of caching it.
+	// re-runs the pass on every build instead of caching it. It carries
+	// whatever the store holds when the pass finishes.
 	writeVetx := func() {
 		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			if err := os.WriteFile(cfg.VetxOutput, facts.Encode(), 0o666); err != nil {
 				fmt.Fprintf(os.Stderr, "ecavet: writing facts: %v\n", err)
 			}
 		}
 	}
 
-	if cfg.VetxOnly || !inModule(cfg.ImportPath, cfg.ModulePath) || len(cfg.GoFiles) == 0 {
+	if !inModule(cfg.ImportPath, cfg.ModulePath) || len(cfg.GoFiles) == 0 {
 		writeVetx()
 		return 0
 	}
@@ -143,7 +190,16 @@ func unitcheck(cfgPath string, analyzers []*Analyzer) int {
 		fmt.Fprintf(os.Stderr, "ecavet: %v\n", err)
 		return 1
 	}
-	diags, err := RunWithWaivers(pkg, analyzers)
+	if cfg.VetxOnly {
+		// Facts-only: run for the exported facts, discard diagnostics.
+		if _, err := RunFacts(pkg, analyzers, facts); err != nil {
+			fmt.Fprintf(os.Stderr, "ecavet: %v\n", err)
+			return 1
+		}
+		writeVetx()
+		return 0
+	}
+	diags, err := RunFactsWithWaivers(pkg, analyzers, facts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ecavet: %v\n", err)
 		return 1

@@ -21,6 +21,14 @@ import (
 // WaiverPrefix is the comment marker, sans "//".
 const WaiverPrefix = "ecavet:allow"
 
+// WaiverAnalyzerName labels the synthetic diagnostics the waiver
+// protocol itself produces (malformed, unknown-analyzer, stale). The
+// waiverstale analyzer in internal/analysis/passes is a registration
+// point for the name — its detection logic lives here, in the drivers'
+// ApplyWaivers step, because staleness is only decidable after every
+// other analyzer has run.
+const WaiverAnalyzerName = "waiverstale"
+
 // A Waiver is one parsed //ecavet:allow comment.
 type Waiver struct {
 	Pos      token.Pos
@@ -62,7 +70,7 @@ func CollectWaivers(fset *token.FileSet, files []*ast.File) []Waiver {
 // ApplyWaivers filters diags through the waivers. A diagnostic is
 // suppressed when a well-formed waiver names its analyzer and sits on the
 // same line or the line directly above it, in the same file. The returned
-// slice contains the surviving diagnostics plus one synthetic "ecavet"
+// slice contains the surviving diagnostics plus one synthetic waiverstale
 // diagnostic for each malformed waiver, waiver naming an analyzer not in
 // known, and stale waiver.
 func ApplyWaivers(fset *token.FileSet, diags []Diagnostic, waivers []Waiver, known map[string]bool) []Diagnostic {
@@ -87,13 +95,13 @@ func ApplyWaivers(fset *token.FileSet, diags []Diagnostic, waivers []Waiver, kno
 	for i, w := range waivers {
 		switch {
 		case w.Analyzer == "":
-			out = append(out, Diagnostic{Pos: w.Pos, Analyzer: "ecavet",
+			out = append(out, Diagnostic{Pos: w.Pos, Analyzer: WaiverAnalyzerName,
 				Message: "malformed waiver: want //ecavet:allow <analyzer> <reason>"})
 		case !known[w.Analyzer]:
-			out = append(out, Diagnostic{Pos: w.Pos, Analyzer: "ecavet",
+			out = append(out, Diagnostic{Pos: w.Pos, Analyzer: WaiverAnalyzerName,
 				Message: "waiver names unknown analyzer " + w.Analyzer})
 		case !used[i]:
-			out = append(out, Diagnostic{Pos: w.Pos, Analyzer: "ecavet",
+			out = append(out, Diagnostic{Pos: w.Pos, Analyzer: WaiverAnalyzerName,
 				Message: "stale waiver: no " + w.Analyzer + " finding on this or the next line"})
 		}
 	}

@@ -75,8 +75,8 @@ func f() {
 		t.Errorf("second diagnostic = %q, want unknown analyzer", out[1].Message)
 	}
 	for _, d := range out {
-		if d.Analyzer != "ecavet" {
-			t.Errorf("waiver diagnostics must come from the ecavet meta-analyzer, got %q", d.Analyzer)
+		if d.Analyzer != analysis.WaiverAnalyzerName {
+			t.Errorf("waiver diagnostics must come from the waiverstale analyzer, got %q", d.Analyzer)
 		}
 	}
 }

@@ -1,0 +1,22 @@
+// Package wsfix exercises waiverstale through the full waiver pipeline.
+package wsfix
+
+func slow() {}
+
+func waived() {
+	slow() //ecavet:allow slowcall benchmarked, cold path
+}
+
+func stale() {
+	// The next waiver suppresses nothing: the slow() call it once
+	// excused is gone.
+	//ecavet:allow slowcall the finding was fixed long ago // want `stale waiver: no slowcall finding`
+	fast()
+}
+
+func unknownName() {
+	//ecavet:allow nosuchpass reasons galore // want `waiver names unknown analyzer nosuchpass`
+	fast()
+}
+
+func fast() {}

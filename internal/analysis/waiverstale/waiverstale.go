@@ -1,0 +1,27 @@
+// Package waiverstale keeps the waiver ledger honest: an
+// //ecavet:allow waiver that is malformed, names an analyzer the
+// suite does not know,
+// or suppresses nothing (the finding it excused was fixed, moved, or
+// never existed) is itself a diagnostic. Without it, waivers rot —
+// the comment outlives the code it excused and silently licenses the
+// next, unrelated finding on the same line.
+//
+// The analyzer is a registration point: its detection logic lives in the
+// drivers' ApplyWaivers step (internal/analysis/waiver.go), because
+// staleness is only decidable after every other analyzer has run over
+// the package. Registering it in the suite gives those synthetic
+// diagnostics a first-class name — in output, in `ecavet -waivers`
+// audits, and in the known-analyzer set itself.
+package waiverstale
+
+import (
+	"github.com/activedb/ecaagent/internal/analysis"
+)
+
+// Analyzer is the waiverstale pass. Run reports nothing directly; see
+// the package comment.
+var Analyzer = &analysis.Analyzer{
+	Name: analysis.WaiverAnalyzerName,
+	Doc:  "report malformed, unknown-analyzer and stale //ecavet:allow waivers",
+	Run:  func(*analysis.Pass) error { return nil },
+}

@@ -1,0 +1,37 @@
+package waiverstale_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"github.com/activedb/ecaagent/internal/analysis"
+	"github.com/activedb/ecaagent/internal/analysis/analysistest"
+	"github.com/activedb/ecaagent/internal/analysis/waiverstale"
+)
+
+// slowcall flags calls to functions named slow — scaffolding that gives
+// the fixture something real to waive (and to leave stale).
+var slowcall = &analysis.Analyzer{
+	Name: "slowcall",
+	Doc:  "test analyzer: flags calls to slow()",
+	Run: func(pass *analysis.Pass) error {
+		analysis.WalkFunctions(pass.Files, func(n ast.Node, _ []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || pass.InTestFile(call.Pos()) {
+				return
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "slow" {
+				pass.Reportf(call.Pos(), "call to slow")
+			}
+		})
+		return nil
+	},
+}
+
+// TestWaiverStale drives the post-waiver pipeline: a live waiver is
+// silent (non-report), a stale one and an unknown-analyzer one are
+// flagged under the waiverstale name (report).
+func TestWaiverStale(t *testing.T) {
+	analysistest.RunWithWaivers(t, "testdata",
+		[]*analysis.Analyzer{slowcall, waiverstale.Analyzer}, "wsfix")
+}

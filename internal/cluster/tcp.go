@@ -53,6 +53,10 @@ type ShipperConfig struct {
 	AckTimeout time.Duration
 }
 
+// ackWriteTimeout bounds the standby's 8-byte ack writes: a primary
+// that stops draining acks must not wedge the standby's apply loop.
+const ackWriteTimeout = 2 * time.Second
+
 func (c ShipperConfig) withDefaults() ShipperConfig {
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 2 * time.Second
@@ -254,7 +258,7 @@ func (s *Shipper) drainAcks(conn net.Conn) {
 	var buf [8]byte
 	r := bufio.NewReader(conn)
 	for {
-		if _, err := readFull(r, buf[:]); err != nil {
+		if _, err := readFull(r, buf[:]); err != nil { //ecavet:allow iodeadline acks arrive at the standby's applying pace; Close unblocks the read
 			return
 		}
 		applied := binary.LittleEndian.Uint64(buf[:])
@@ -376,7 +380,10 @@ func serveStream(conn net.Conn, ap *Applier) {
 	var applied uint64
 	r := bufio.NewReader(conn)
 	for {
-		f, err := ReadFrame(r)
+		// The standby blocks here for the primary's next frame by
+		// design: idle links are normal, and stop() closes the conn to
+		// unblock the read.
+		f, err := ReadFrame(r) //ecavet:allow iodeadline standby waits for the next frame indefinitely; stop() closes the conn
 		if err != nil {
 			return // EOF, torn tail, or corruption: shipper re-snapshots
 		}
@@ -386,6 +393,10 @@ func serveStream(conn net.Conn, ap *Applier) {
 		applied++
 		var ack [8]byte
 		binary.LittleEndian.PutUint64(ack[:], applied)
+		deadline := time.Now().Add(ackWriteTimeout) //ecavet:allow nowallclock net.Conn deadlines are wall-clock by contract
+		if err := conn.SetWriteDeadline(deadline); err != nil {
+			return
+		}
 		if _, err := conn.Write(ack[:]); err != nil {
 			return
 		}
